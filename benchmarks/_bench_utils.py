@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules (table persistence)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(result: ExperimentResult) -> str:
+    """Persist an experiment table under benchmarks/results/ and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.format_table()
+    (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+    return text
+
+
+def headline(result: ExperimentResult, max_rows: int = 3) -> dict:
+    """Compact row dump for pytest-benchmark's extra_info column."""
+    return {
+        "title": result.title,
+        "rows": [tuple(map(str, row)) for row in result.rows[:max_rows]],
+    }

@@ -1,0 +1,41 @@
+"""Figure 7 bench: the locality-size staircase of one outer block.
+
+Regenerates the Figure 7(b) interval table and times Procedure 2 (the
+locality-catalog build for one block), the unit of Catalog-Merge and
+Virtual-Grid preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig07_locality_profile import run
+from repro.knn import locality_size_profile
+
+
+def test_fig07_table_and_procedure2(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    sizes = result.column("locality_size")
+    assert sizes == sorted(sizes)
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    outer = join_support.relation_index(cfg, scale, 0)
+    inner = join_support.relation_counts(cfg, scale, 1)
+    rng = np.random.default_rng(cfg.seed)
+    rects = [
+        outer.blocks[i].rect
+        for i in rng.integers(0, outer.num_blocks, size=16)
+    ]
+    counter = iter(range(10**9))
+
+    def build_one_locality_catalog():
+        rect = rects[next(counter) % len(rects)]
+        return locality_size_profile(inner, rect, cfg.max_k)
+
+    profile = benchmark(build_one_locality_catalog)
+    benchmark.extra_info.update(headline(result))
+    assert profile[-1][1] >= min(cfg.max_k, inner.total_count)

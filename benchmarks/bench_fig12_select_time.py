@@ -1,0 +1,69 @@
+"""Figure 12 bench: k-NN-Select estimation time versus k.
+
+Regenerates the timing table and benchmarks each technique's per-query
+estimate directly (pytest-benchmark gives the paper's y-axis values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import headline, save_table
+from repro.experiments import select_support
+from repro.experiments.common import build_index
+from repro.experiments.fig12_select_time import run
+from repro.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def focal_points(bench_config):
+    cfg = bench_config
+    scale = max(cfg.scales)
+    pts = build_index(
+        scale, cfg.base_n, cfg.capacity, cfg.seed, cfg.dataset_kind
+    ).all_points()
+    rng = np.random.default_rng(cfg.seed)
+    return [
+        Point(float(pts[i, 0]), float(pts[i, 1]))
+        for i in rng.integers(0, pts.shape[0], size=32)
+    ]
+
+
+def test_fig12_table(benchmark, bench_config):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    save_table(result)
+    benchmark.extra_info.update(headline(result, max_rows=8))
+    for __, t_cc, t_c, t_density in result.rows:
+        # Paper headline: Staircase ~two orders of magnitude faster.
+        assert t_c < t_density
+        assert t_cc < t_density
+
+
+@pytest.mark.parametrize("variant", ["center+corners", "center"])
+def test_fig12_staircase_estimate(benchmark, bench_config, focal_points, variant):
+    cfg = bench_config
+    estimator = select_support.staircase_estimator(cfg, max(cfg.scales))
+    k = cfg.max_k // 2
+    counter = iter(range(10**9))
+
+    def estimate():
+        q = focal_points[next(counter) % len(focal_points)]
+        return estimator.estimate(q, k, variant=variant)
+
+    value = benchmark(estimate)
+    assert value >= 0
+
+
+def test_fig12_density_estimate(benchmark, bench_config, focal_points):
+    cfg = bench_config
+    estimator = select_support.density_estimator(cfg, max(cfg.scales))
+    k = cfg.max_k // 2
+    counter = iter(range(10**9))
+
+    def estimate():
+        q = focal_points[next(counter) % len(focal_points)]
+        return estimator.estimate(q, k)
+
+    value = benchmark(estimate)
+    assert value >= 1

@@ -1,0 +1,32 @@
+"""Figure 15 bench: join estimation accuracy versus sample size.
+
+Regenerates the accuracy table and benchmarks the Catalog-Merge
+estimate at the paper's reference sample size.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig15_join_accuracy_sample import run
+
+
+def test_fig15_table_and_estimate(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    errors = result.column("catalog_merge")
+    # Paper shape: the error at the largest sample improves on the
+    # smallest and lands in the few-percent regime.
+    assert errors[-1] < 0.25
+    assert errors[-1] <= errors[0]
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    estimator = join_support.catalog_merge_estimator(
+        cfg, scale, max(cfg.sample_sizes)
+    )
+    k = cfg.max_k // 2
+
+    value = benchmark(estimator.estimate, k)
+    benchmark.extra_info.update(headline(result, max_rows=10))
+    assert value > 0

@@ -1,0 +1,48 @@
+"""Figure 17 bench: join estimation time versus k.
+
+Regenerates the timing table and benchmarks each join technique's
+estimate directly at a mid-range k.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig17_join_time_k import run
+
+
+def test_fig17_table(benchmark, bench_config):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    save_table(result)
+    benchmark.extra_info.update(headline(result, max_rows=8))
+    for __, t_vg, t_bs, t_cm in result.rows:
+        # Paper headline: Catalog-Merge orders of magnitude faster.
+        assert t_cm < t_vg
+        assert t_cm < t_bs
+
+
+def test_fig17_block_sample_estimate(benchmark, bench_config):
+    cfg = bench_config
+    scale = max(cfg.scales)
+    estimator = join_support.block_sample_estimator(cfg, scale, cfg.join_sample_size)
+    value = benchmark.pedantic(
+        estimator.estimate, args=(cfg.max_k // 2,), rounds=3, iterations=1
+    )
+    assert value > 0
+
+
+def test_fig17_catalog_merge_estimate(benchmark, bench_config):
+    cfg = bench_config
+    scale = max(cfg.scales)
+    estimator = join_support.catalog_merge_estimator(cfg, scale, cfg.join_sample_size)
+    value = benchmark(estimator.estimate, cfg.max_k // 2)
+    assert value > 0
+
+
+def test_fig17_virtual_grid_estimate(benchmark, bench_config):
+    cfg = bench_config
+    scale = max(cfg.scales)
+    grid = join_support.virtual_grid_estimator(cfg, scale, cfg.join_grid_size)
+    bound = grid.for_outer(join_support.relation_counts(cfg, scale, 0))
+    value = benchmark(bound.estimate, cfg.max_k // 2)
+    assert value > 0

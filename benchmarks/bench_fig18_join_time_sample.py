@@ -1,0 +1,34 @@
+"""Figure 18 bench: join estimation time versus sample size.
+
+Regenerates the table and benchmarks the Block-Sample estimate at the
+largest sample (its cost is the figure's growing curve).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig18_join_time_sample import run, sample_series
+
+
+def test_fig18_table_and_block_sample(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    for __, t_bs, t_cm in result.rows:
+        assert t_bs > t_cm
+    cm_times = result.column("catalog_merge_s")
+    bs_times = result.column("block_sample_s")
+    # Block-Sample grows with the sample; Catalog-Merge stays flat
+    # (within noise: its slowest point stays well under Block-Sample's
+    # fastest).
+    assert max(cm_times) < min(bs_times)
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    largest = max(sample_series(cfg))
+    estimator = join_support.block_sample_estimator(cfg, scale, largest)
+    value = benchmark.pedantic(
+        estimator.estimate, args=(cfg.max_k // 2,), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(headline(result, max_rows=10))
+    assert value > 0

@@ -1,0 +1,30 @@
+"""Figure 19 bench: Virtual-Grid estimation time versus grid size.
+
+Regenerates the table (paper shape: flat in the grid size, because the
+estimate is dominated by the outer relation's block count) and
+benchmarks the estimate at the largest grid.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig19_join_time_grid import run
+
+
+def test_fig19_table_and_estimate(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    times = result.column("virtual_grid_s")
+    # "Almost constant": a 25x cell increase may cost at most a small
+    # constant factor (the estimate is O(n_o)-dominated, Section 4.3.2).
+    assert max(times) < min(times) * 10
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    grid = join_support.virtual_grid_estimator(cfg, scale, max(cfg.grid_sizes))
+    outer = join_support.relation_counts(cfg, scale, 0)
+
+    value = benchmark(grid.estimate, outer, cfg.max_k // 2)
+    benchmark.extra_info.update(headline(result, max_rows=10))
+    assert value > 0

@@ -1,0 +1,41 @@
+"""Figure 20 bench: schema-level join catalog storage versus scale.
+
+Regenerates the table (paper shape: Virtual-Grid ~an order of magnitude
+smaller than Catalog-Merge across scales) and benchmarks one scale's
+schema-level catalog build.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments import join_support
+from repro.experiments.fig20_join_storage_scale import run
+
+
+def test_fig20_table_and_schema_build(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    for __, cm_bytes, vg_bytes, ratio in result.rows:
+        assert cm_bytes > vg_bytes  # pairwise catalogs always dominate
+    # The storage ratio tracks the catalog-count ratio: n(n-1) pair
+    # catalogs versus n grid catalog sets, i.e. roughly (n-1)x.  The
+    # paper's 10 relations give the order-of-magnitude headline.
+    assert result.rows[-1][3] > (bench_config.n_relations - 1) * 0.5
+
+    # Benchmark unit: building one pair catalog (the schema needs
+    # 2 * C(n, 2) of these).
+    from repro.estimators import CatalogMergeEstimator
+
+    cfg = bench_config
+    scale = cfg.scales[0]
+    outer = join_support.relation_index(cfg, scale, 0)
+    inner = join_support.relation_counts(cfg, scale, 1)
+
+    def build_pair_catalog():
+        return CatalogMergeEstimator(
+            outer, inner, sample_size=cfg.schema_sample_size, max_k=cfg.max_k
+        )
+
+    estimator = benchmark.pedantic(build_pair_catalog, rounds=2, iterations=1)
+    benchmark.extra_info.update(headline(result, max_rows=10))
+    assert estimator.storage_bytes() > 0

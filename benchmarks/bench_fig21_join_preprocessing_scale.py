@@ -1,0 +1,37 @@
+"""Figure 21 bench: schema-level join preprocessing time versus scale.
+
+Regenerates the table (paper shape: Block-Sample 0; Catalog-Merge grows
+with scale; Virtual-Grid roughly constant) and benchmarks a Virtual-Grid
+catalog build (the figure's constant curve).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.datasets import WORLD_BOUNDS
+from repro.estimators import VirtualGridEstimator
+from repro.experiments import join_support
+from repro.experiments.fig21_join_preprocessing_scale import run
+
+
+def test_fig21_table_and_grid_build(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    assert all(row[2] == 0.0 for row in result.rows)  # Block-Sample
+    vg = result.column("virtual_grid_s")
+    cm = result.column("catalog_merge_s")
+    # Catalog-Merge does strictly more work than Virtual-Grid at every
+    # scale (90 pair catalogs vs 10 grid catalog sets).
+    assert all(c > v for c, v in zip(cm, vg))
+
+    cfg = bench_config
+    inner = join_support.relation_counts(cfg, cfg.scales[0], 1)
+
+    def build_grid_catalogs():
+        return VirtualGridEstimator(
+            inner, bounds=WORLD_BOUNDS, grid_size=cfg.join_grid_size, max_k=cfg.max_k
+        )
+
+    grid = benchmark.pedantic(build_grid_catalogs, rounds=2, iterations=1)
+    benchmark.extra_info.update(headline(result, max_rows=10))
+    assert grid.storage_bytes() > 0

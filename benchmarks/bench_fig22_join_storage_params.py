@@ -1,0 +1,32 @@
+"""Figure 22 bench: join catalog storage versus sample size / grid size.
+
+Regenerates both sub-series and benchmarks serialization of the largest
+merged catalog.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.catalog import catalog_to_bytes
+from repro.experiments import join_support
+from repro.experiments.fig22_join_storage_params import run
+
+
+def test_fig22_table_and_serialization(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    grid_rows = [r for r in result.rows if r[0] == "b:virtual_grid"]
+    grid_sizes = [r[2] for r in grid_rows]
+    # Paper shape: Virtual-Grid storage grows with the grid size.
+    assert grid_sizes == sorted(grid_sizes)
+    merge_rows = [r for r in result.rows if r[0] == "a:catalog_merge"]
+    # Catalog-Merge storage trends upward with the sample size.
+    assert merge_rows[-1][2] >= merge_rows[0][2]
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    estimator = join_support.catalog_merge_estimator(cfg, scale, max(cfg.sample_sizes))
+
+    payload = benchmark(catalog_to_bytes, estimator.catalog)
+    benchmark.extra_info.update(headline(result, max_rows=6))
+    assert len(payload) == estimator.storage_bytes()

@@ -1,0 +1,38 @@
+"""Figure 23 bench: join preprocessing time vs sample size / grid size.
+
+Regenerates both sub-series and benchmarks the Catalog-Merge build at
+the smallest sample (the per-unit preprocessing cost).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.estimators import CatalogMergeEstimator
+from repro.experiments import join_support
+from repro.experiments.fig23_join_preprocessing_params import run
+
+
+def test_fig23_table_and_build(benchmark, bench_config):
+    result = run(bench_config)
+    save_table(result)
+    merge_rows = [r for r in result.rows if r[0] == "a:catalog_merge"]
+    grid_rows = [r for r in result.rows if r[0] == "b:virtual_grid"]
+    # Paper shape: preprocessing grows with each parameter (compare the
+    # endpoints; individual rounds are noisy).
+    assert merge_rows[-1][2] > merge_rows[0][2] * 0.5
+    assert grid_rows[-1][2] > grid_rows[0][2]
+
+    cfg = bench_config
+    scale = max(cfg.scales)
+    outer = join_support.relation_index(cfg, scale, 0)
+    inner = join_support.relation_counts(cfg, scale, 1)
+    smallest = min(cfg.sample_sizes)
+
+    def build():
+        return CatalogMergeEstimator(
+            outer, inner, sample_size=smallest, max_k=cfg.max_k
+        )
+
+    estimator = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info.update(headline(result, max_rows=6))
+    assert estimator.sample_size <= smallest

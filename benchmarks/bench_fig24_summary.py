@@ -1,0 +1,30 @@
+"""Figure 24 bench: the measured pros/cons summary matrix.
+
+Regenerates the summary table (derived from measurements at the largest
+configured scale) and checks the paper's qualitative matrix entries
+that are structural rather than noise-dependent.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import headline, save_table
+from repro.experiments.fig24_summary import run
+
+
+def test_fig24_summary_matrix(benchmark, bench_config):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    save_table(result)
+
+    by_technique = {row[1]: row for row in result.rows}
+    # Structural entries from the paper's Figure 24:
+    # Density-Based and Block-Sample precompute nothing.
+    assert by_technique["Density-Based"][8] == "None"
+    assert by_technique["Block-Sample"][8] == "None"
+    # Block-Sample keeps no catalogs.
+    assert by_technique["Block-Sample"][6] == "None"
+    # Catalog techniques answer faster than their computing baselines.
+    assert by_technique["Catalog-Merge"][3] < by_technique["Block-Sample"][3]
+    assert (
+        by_technique["Staircase (Center-Only)"][3] < by_technique["Density-Based"][3]
+    )
+    benchmark.extra_info.update(headline(result, max_rows=6))

@@ -1,0 +1,99 @@
+"""Extension experiment: end-to-end optimizer plan quality.
+
+The paper motivates cost estimation by QEP arbitration but never
+measures decision quality directly.  This benchmark closes the loop:
+over a workload of predicate-constrained k-NN-Select queries, the
+engine's choice (driven by Staircase estimates) is compared with the
+post-hoc optimal plan, reporting
+
+* the correct-choice rate, and
+* the *regret*: extra blocks scanned by the chosen plan relative to the
+  per-query optimum, summed over the workload — the metric that
+  actually matters, since wrong choices between near-tied plans are
+  harmless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import RESULTS_DIR
+from repro.datasets import generate_osm_like
+from repro.engine import (
+    KnnSelectQuery,
+    SpatialEngine,
+    SpatialTable,
+    StatisticsManager,
+    column,
+)
+from repro.engine.physical import FilterThenKnnOperator, IncrementalKnnOperator
+from repro.experiments.common import ExperimentResult
+from repro.geometry import Point
+
+
+def test_plan_quality(benchmark, bench_config):
+    cfg = bench_config
+    n = cfg.base_n * min(2, max(cfg.scales))
+    rng = np.random.default_rng(cfg.seed)
+    points = generate_osm_like(n, seed=cfg.seed)
+    prices = rng.uniform(10, 110, n)
+    engine = SpatialEngine(StatisticsManager(max_k=cfg.max_k))
+    engine.register(
+        SpatialTable("places", points, {"price": prices}, capacity=cfg.capacity)
+    )
+    table = engine.stats.table("places")
+
+    # A workload that straddles the plan boundary: k from tiny to large,
+    # budgets from rare to permissive.
+    n_queries = 40
+    picks = rng.integers(0, n, size=n_queries)
+    ks = rng.integers(1, cfg.max_k // 2, size=n_queries)
+    budgets = rng.uniform(11, 110, size=n_queries)
+
+    correct = 0
+    chosen_total = 0
+    optimal_total = 0
+    for i in range(n_queries):
+        q = KnnSelectQuery(
+            "places",
+            Point(float(points[picks[i], 0]), float(points[picks[i], 1])),
+            k=int(ks[i]),
+            predicate=column("price") < float(budgets[i]),
+        )
+        explanation = engine.explain(q)
+        actual_filter = FilterThenKnnOperator(table, q).execute().blocks_scanned
+        actual_incr = IncrementalKnnOperator(table, q).execute().blocks_scanned
+        actual = {
+            "filter-then-knn": actual_filter,
+            "incremental-knn": actual_incr,
+        }
+        best = min(actual.values())
+        chosen_total += actual[explanation.chosen]
+        optimal_total += best
+        if actual[explanation.chosen] == best:
+            correct += 1
+
+    regret = (chosen_total - optimal_total) / optimal_total
+    result = ExperimentResult(
+        name="plan_quality",
+        title="Optimizer plan quality on predicate-constrained k-NN selects",
+        columns=("n_queries", "correct_choices", "regret"),
+    )
+    result.add_row(n_queries, correct, regret)
+    result.notes.append(
+        "regret = extra blocks of the chosen plans over the per-query optimum"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "plan_quality.txt").write_text(result.format_table() + "\n")
+
+    # The estimator-driven optimizer must capture nearly all the
+    # available benefit: tiny regret even if some near-ties flip.
+    assert regret < 0.30
+    assert correct >= n_queries * 0.6
+
+    # Benchmark unit: one optimizer decision (explain, no execution).
+    probe = KnnSelectQuery(
+        "places", Point(500.0, 500.0), k=16, predicate=column("price") < 50
+    )
+    explanation = benchmark(engine.explain, probe)
+    assert explanation.chosen in actual

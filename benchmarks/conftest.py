@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Every benchmark module regenerates one figure/table of the paper
+(writing the series to ``benchmarks/results/figXX.txt``) and times the
+figure's characteristic operation with pytest-benchmark.
+
+The testbed profile is selected with the ``REPRO_BENCH_PROFILE``
+environment variable (``quick``/``default``/``full``; default
+``default``).  All benchmarks run in one process, so testbed and
+estimator caches are shared across figures exactly as the experiment
+harness shares them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, get_config
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The profile all benchmarks run under."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    return get_config(profile)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's motivating query, end to end.
+
+"Find the k-closest restaurants to my location such that the price of
+the restaurant is within my budget" (Section 1).  Two query execution
+plans exist:
+
+  (i)  filter-then-knn — apply the relational select first (full scan),
+       then take the k closest qualifying restaurants;
+  (ii) incremental-knn — distance browsing with the price predicate
+       evaluated on the fly, stopping at k qualifying results.
+
+The cheaper plan depends on the *estimated* k-NN cost: that is exactly
+what the Staircase estimator provides.  This example builds a synthetic
+restaurant table with prices, lets the optimizer arbitrate for several
+(k, budget) combinations, and verifies its choices against the actual
+execution costs of both plans.
+
+Run:
+    python examples/restaurant_finder.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.optimizer import choose_select_plan
+
+
+def price_of(x: float, y: float) -> float:
+    """Deterministic synthetic price in [10, 110) derived from location.
+
+    Restaurants in the same street have correlated but not identical
+    prices; a hash-like mix of the coordinates stands in for a real
+    attribute column while keeping the example self-contained.
+    """
+    h = np.sin(x * 12.9898 + y * 78.233) * 43758.5453
+    return 10.0 + (h - np.floor(h)) * 100.0
+
+
+def main() -> None:
+    print("Building the restaurants table (80,000 locations + prices)...")
+    restaurants = repro.generate_osm_like(80_000, seed=21)
+    index = repro.Quadtree(restaurants, capacity=256)
+    estimator = repro.StaircaseEstimator(index, max_k=2_048)
+    print(
+        f"  -> {index.num_blocks} blocks; Staircase catalogs built in "
+        f"{estimator.preprocessing_seconds:.2f}s"
+    )
+
+    me = repro.Point(500.0, 500.0)
+    scenarios = [
+        # (k, budget) — selectivity of `price < budget` is ~(budget-10)/100.
+        (5, 60.0),  # selective-ish predicate, tiny k: browsing should win
+        (10, 90.0),  # permissive predicate: browsing wins big
+        (400, 15.0),  # 5%-selective predicate, large k: browsing strained
+        (2_000, 12.0),  # 2%-selective, huge k: the full scan is as cheap
+    ]
+    print(f"\n{'k':>5} {'budget':>7} {'chosen plan':>17} "
+          f"{'est(filter)':>12} {'est(incr)':>10} {'act(filter)':>12} "
+          f"{'act(incr)':>10} {'correct?':>9}")
+    for k, budget in scenarios:
+        predicate = lambda x, y, b=budget: price_of(x, y) < b
+        selectivity = max((budget - 10.0) / 100.0, 0.01)
+        choice, filter_plan, incremental_plan = choose_select_plan(
+            index, estimator, me, k, predicate, selectivity
+        )
+        actual_filter = filter_plan.execute(me, k)
+        actual_incremental = incremental_plan.execute(me, k)
+        actually_best = (
+            "filter-then-knn"
+            if actual_filter.blocks_scanned <= actual_incremental.blocks_scanned
+            else "incremental-knn"
+        )
+        print(
+            f"{k:>5} {budget:>7.0f} {choice.chosen:>17} "
+            f"{choice.filter_then_knn_cost:>12.0f} "
+            f"{choice.incremental_cost:>10.0f} "
+            f"{actual_filter.blocks_scanned:>12} "
+            f"{actual_incremental.blocks_scanned:>10} "
+            f"{'yes' if choice.chosen == actually_best else 'NO':>9}"
+        )
+
+    print(
+        "\nThe optimizer needs only the catalogs (microseconds per "
+        "estimate); both plans return identical answers, but the block "
+        "scans differ by orders of magnitude depending on k and the "
+        "predicate selectivity — exactly the paper's Section 1 argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

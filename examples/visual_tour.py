@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A terminal tour of the data and the cost structures.
+
+The paper's Figure 10 shows OpenStreetMap GPS points with the quadtree
+decomposition overlaid; Figures 4 and 7 show the cost and locality
+staircases.  This example renders all three in the terminal for the
+synthetic testbed, making the structures the estimators exploit
+directly visible.
+
+Run:
+    python examples/visual_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.catalog import IntervalCatalog
+from repro.viz import render_blocks, render_density, render_staircase
+
+
+def main() -> None:
+    points = repro.generate_osm_like(60_000, seed=1)
+    index = repro.Quadtree(points, capacity=256)
+    counts = repro.CountIndex.from_index(index)
+
+    print("=== The data: OSM-like GPS points (Figure 10 style) ===")
+    print(render_density(points, width=72, height=24))
+
+    print("\n=== The index: region-quadtree decomposition ===")
+    print("(small blocks where the data is dense)")
+    print(render_blocks(index, width=72, height=24))
+
+    rng = np.random.default_rng(7)
+    row = points[int(rng.integers(0, points.shape[0]))]
+    q = repro.Point(float(row[0]), float(row[1]))
+    print(f"\n=== The cost staircase at ({q.x:.0f}, {q.y:.0f}) (Figure 4 style) ===")
+    profile = repro.select_cost_profile(counts, index.blocks, q, 2_048)
+    catalog = IntervalCatalog.from_profile(profile, max_k=2_048)
+    print(render_staircase(catalog, width=72, height=12))
+    print(f"{len(profile)} intervals summarize the cost of every k in [1, 2048]:")
+    for k_start, k_end, cost in profile[:5]:
+        print(f"  k in [{k_start}, {min(k_end, 2048)}] -> {cost} blocks")
+    if len(profile) > 5:
+        print(f"  ... and {len(profile) - 5} more intervals")
+
+    inner = repro.Quadtree(
+        repro.generate_osm_like(60_000, seed=2, structure_seed=1), capacity=256
+    )
+    inner_counts = repro.CountIndex.from_index(inner)
+    block = index.blocks[int(rng.integers(0, index.num_blocks))]
+    print("\n=== The locality staircase of one block (Figure 7 style) ===")
+    locality_profile = repro.locality_size_profile(inner_counts, block.rect, 2_048)
+    locality_catalog = IntervalCatalog.from_profile(locality_profile, max_k=2_048)
+    print(render_staircase(locality_catalog, width=72, height=10))
+    for k_start, k_end, size in locality_profile[:4]:
+        print(f"  k in [{k_start}, {min(k_end, 2048)}] -> locality of {size} blocks")
+
+    print(
+        "\nThese flat steps are the whole trick: a handful of intervals "
+        "replaces a per-k table, so the catalogs stay tiny "
+        f"(this one: {8 * len(profile)} bytes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""The interval catalog data structure.
+
+An :class:`IntervalCatalog` maps every ``k`` in ``[1, max_k]`` to a cost
+through a short, sorted list of constant-cost ranges.  Lookups are a
+single binary search (the paper's "logarithmic time w.r.t. the number of
+intervals", Section 3.3); the arrays are stored columnar so a catalog's
+in-memory and on-disk footprints are a few bytes per staircase step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class CatalogLookupError(KeyError):
+    """Raised when a lookup falls outside the catalog's supported k range.
+
+    Queries with ``k > max_k`` "are directed to the Count-Index"
+    (Figure 5); callers catch this error and fall back accordingly.
+    """
+
+
+class IntervalCatalog:
+    """A staircase of ``([k_start, k_end], cost)`` entries.
+
+    Entries must be contiguous (each range starts where the previous one
+    ended) and start at ``k = 1``.  Costs may be fractional: merged and
+    scaled catalogs carry real-valued estimates even though raw per-
+    block catalogs are integral.
+
+    Args:
+        entries: Iterable of ``(k_start, k_end, cost)`` tuples in
+            ascending k order.
+
+    Raises:
+        ValueError: If ranges are empty, overlapping, non-contiguous, or
+            do not start at 1.
+    """
+
+    __slots__ = ("_k_end", "_cost")
+
+    def __init__(self, entries: Iterable[tuple[int, int, float]]) -> None:
+        entries = list(entries)
+        if not entries:
+            raise ValueError("a catalog needs at least one entry")
+        expected_start = 1
+        k_ends: list[int] = []
+        costs: list[float] = []
+        for k_start, k_end, cost in entries:
+            if k_start != expected_start:
+                raise ValueError(
+                    f"catalog ranges must be contiguous from 1: expected "
+                    f"k_start={expected_start}, got {k_start}"
+                )
+            if k_end < k_start:
+                raise ValueError(f"empty catalog range [{k_start}, {k_end}]")
+            k_ends.append(int(k_end))
+            costs.append(float(cost))
+            expected_start = k_end + 1
+        self._k_end = np.array(k_ends, dtype=np.int64)
+        self._cost = np.array(costs, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, k: int) -> float:
+        """Return the cost for ``k`` via binary search.
+
+        Raises:
+            ValueError: If ``k < 1``.
+            CatalogLookupError: If ``k`` exceeds :attr:`max_k`.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > self.max_k:
+            raise CatalogLookupError(
+                f"k={k} exceeds the catalog's supported maximum {self.max_k}"
+            )
+        idx = int(np.searchsorted(self._k_end, k, side="left"))
+        return float(self._cost[idx])
+
+    def lookup_many(self, ks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup` over an array of k values."""
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.size and (ks.min() < 1 or ks.max() > self.max_k):
+            raise CatalogLookupError("some k values fall outside the catalog range")
+        idx = np.searchsorted(self._k_end, ks, side="left")
+        return self._cost[idx]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def max_k(self) -> int:
+        """Largest k the catalog covers."""
+        return int(self._k_end[-1])
+
+    @property
+    def n_entries(self) -> int:
+        """Number of staircase steps."""
+        return int(self._k_end.shape[0])
+
+    @property
+    def k_ends(self) -> np.ndarray:
+        """``(n,)`` array of range upper bounds (read-only view)."""
+        return self._k_end
+
+    @property
+    def costs(self) -> np.ndarray:
+        """``(n,)`` array of per-range costs (read-only view)."""
+        return self._cost
+
+    def entries(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(k_start, k_end, cost)`` tuples in order."""
+        k_start = 1
+        for k_end, cost in zip(self._k_end, self._cost):
+            yield (k_start, int(k_end), float(cost))
+            k_start = int(k_end) + 1
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalCatalog):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._k_end, other._k_end)
+            and np.array_equal(self._cost, other._cost)
+        )
+
+    def __hash__(self) -> int:  # catalogs are value objects but mutable-free
+        return hash((self._k_end.tobytes(), self._cost.tobytes()))
+
+    def __repr__(self) -> str:
+        head = ", ".join(
+            f"([{ks},{ke}]->{c:g})" for ks, ke, c in list(self.entries())[:3]
+        )
+        suffix = ", ..." if self.n_entries > 3 else ""
+        return f"IntervalCatalog({head}{suffix}; max_k={self.max_k})"
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "IntervalCatalog":
+        """Return a copy with every cost multiplied by ``factor``.
+
+        Used by sampling-based join estimators to extrapolate from a
+        block sample to the whole outer relation.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        clone = IntervalCatalog.__new__(IntervalCatalog)
+        clone._k_end = self._k_end
+        clone._cost = self._cost * factor
+        return clone
+
+    def truncated(self, max_k: int) -> "IntervalCatalog":
+        """Return a copy limited to ``k <= max_k``.
+
+        Raises:
+            ValueError: If ``max_k < 1``.
+        """
+        if max_k < 1:
+            raise ValueError(f"max_k must be >= 1, got {max_k}")
+        if max_k >= self.max_k:
+            return self
+        cut = int(np.searchsorted(self._k_end, max_k, side="left"))
+        clone = IntervalCatalog.__new__(IntervalCatalog)
+        clone._k_end = np.concatenate([self._k_end[:cut], [max_k]]).astype(np.int64)
+        clone._cost = self._cost[: cut + 1].copy()
+        return clone
+
+    def coalesced(self) -> "IntervalCatalog":
+        """Merge adjacent ranges with equal cost (redundant-entry removal)."""
+        if self.n_entries <= 1:
+            return self
+        keep = np.ones(self.n_entries, dtype=bool)
+        keep[:-1] = self._cost[:-1] != self._cost[1:]
+        clone = IntervalCatalog.__new__(IntervalCatalog)
+        clone._k_end = self._k_end[keep]
+        clone._cost = self._cost[keep]
+        return clone
+
+    @classmethod
+    def constant(cls, cost: float, max_k: int) -> "IntervalCatalog":
+        """Build a single-range catalog with one cost for all k."""
+        return cls([(1, max_k, cost)])
+
+    @classmethod
+    def from_profile(
+        cls, profile: Sequence[tuple[int, int, float]], max_k: int | None = None
+    ) -> "IntervalCatalog":
+        """Build from a staircase profile, optionally padding to ``max_k``.
+
+        Profiles produced by the k-NN machinery can stop early when the
+        index runs out of points; padding extends the final cost to
+        ``max_k`` so lookups stay total, matching the paper's "repeat
+        until all the blocks are scanned or a sufficiently large value
+        of k is encountered".
+        """
+        if not profile:
+            raise ValueError("cannot build a catalog from an empty profile")
+        entries = [(int(a), int(b), float(c)) for a, b, c in profile]
+        if max_k is not None and entries[-1][1] < max_k:
+            k_start, k_end, cost = entries[-1]
+            entries[-1] = (k_start, max_k, cost)
+        return cls(entries)

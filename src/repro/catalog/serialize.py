@@ -1,0 +1,80 @@
+"""Catalog serialization and storage accounting.
+
+The paper's storage-overhead figures (14, 20, 22) measure the bytes
+needed to persist the catalogs.  Because ranges are contiguous, an entry
+only needs its upper bound and its cost; the binary codec packs each
+entry as ``(uint32 k_end, float32 cost)`` — 8 bytes per staircase step —
+which is the footprint :func:`catalog_storage_bytes` reports.  A JSON
+codec is provided for human-readable interchange.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.catalog.intervals import IntervalCatalog
+
+_ENTRY = struct.Struct("<If")  # little-endian uint32 k_end, float32 cost
+_HEADER = struct.Struct("<I")  # entry count
+
+#: Bytes per serialized catalog entry.
+BYTES_PER_ENTRY = _ENTRY.size
+
+
+def catalog_storage_bytes(catalog: IntervalCatalog) -> int:
+    """Bytes needed to persist ``catalog`` in the binary codec."""
+    return _HEADER.size + catalog.n_entries * BYTES_PER_ENTRY
+
+
+def catalog_to_bytes(catalog: IntervalCatalog) -> bytes:
+    """Serialize to the compact binary format."""
+    parts = [_HEADER.pack(catalog.n_entries)]
+    for __, k_end, cost in catalog.entries():
+        parts.append(_ENTRY.pack(k_end, cost))
+    return b"".join(parts)
+
+
+def catalog_from_bytes(data: bytes) -> IntervalCatalog:
+    """Deserialize the compact binary format.
+
+    Raises:
+        ValueError: On truncated or malformed input.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated catalog header")
+    (n_entries,) = _HEADER.unpack_from(data, 0)
+    expected = _HEADER.size + n_entries * BYTES_PER_ENTRY
+    if len(data) != expected:
+        raise ValueError(f"catalog payload size mismatch: {len(data)} != {expected}")
+    entries = []
+    k_start = 1
+    offset = _HEADER.size
+    for __ in range(n_entries):
+        k_end, cost = _ENTRY.unpack_from(data, offset)
+        entries.append((k_start, k_end, cost))
+        k_start = k_end + 1
+        offset += BYTES_PER_ENTRY
+    return IntervalCatalog(entries)
+
+
+def catalog_to_json(catalog: IntervalCatalog) -> str:
+    """Serialize to a human-readable JSON document."""
+    return json.dumps(
+        {"entries": [[ks, ke, cost] for ks, ke, cost in catalog.entries()]}
+    )
+
+
+def catalog_from_json(text: str) -> IntervalCatalog:
+    """Deserialize the JSON document format.
+
+    Raises:
+        ValueError: On malformed JSON or entry structure.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid catalog JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError("catalog JSON must be an object with an 'entries' key")
+    return IntervalCatalog(tuple(entry) for entry in payload["entries"])

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate --kind osm -n 50000 -o points.csv
+    python -m repro index-stats points.csv --capacity 256
+    python -m repro visualize points.csv --blocks
+    python -m repro staircase points.csv --x 500 --y 500 --max-k 1024
+    python -m repro estimate-select points.csv --x 500 --y 500 -k 64
+    python -m repro estimate-join outer.csv inner.csv -k 32 --technique catalog-merge
+
+Every estimation command prints the estimate, the ground-truth cost,
+and the error ratio, so the CLI doubles as a quick calibration check on
+user-supplied data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.catalog import IntervalCatalog
+from repro.datasets import (
+    generate_osm_like,
+    generate_skewed,
+    generate_uniform,
+    load_points_csv,
+    save_points_csv,
+)
+from repro.estimators import (
+    BlockSampleEstimator,
+    CatalogMergeEstimator,
+    DensityBasedEstimator,
+    StaircaseEstimator,
+    VirtualGridEstimator,
+)
+from repro.geometry import Point
+from repro.index import CountIndex, Quadtree
+from repro.knn import knn_join_cost, select_cost_exact, select_cost_profile
+from repro.viz import render_blocks, render_density, render_staircase
+
+_GENERATORS = {
+    "osm": generate_osm_like,
+    "uniform": generate_uniform,
+    "skewed": generate_skewed,
+}
+
+
+def _load_index(path: str, capacity: int) -> Quadtree:
+    points = load_points_csv(path)
+    return Quadtree(points, capacity=capacity)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    points = _GENERATORS[args.kind](args.n, seed=args.seed)
+    save_points_csv(points, args.output)
+    print(f"wrote {points.shape[0]} {args.kind} points to {args.output}")
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    index = _load_index(args.points, args.capacity)
+    counts = index.block_counts_array()
+    print(f"points:        {index.num_points}")
+    print(f"blocks:        {index.num_blocks}")
+    print(f"depth:         {index.depth()}")
+    print(f"capacity:      {index.capacity}")
+    print(f"fill (avg):    {counts.mean():.1f} points/block")
+    print(f"fill (median): {int(np.median(counts))} points/block")
+    bounds = index.bounds
+    print(
+        "bounds:        "
+        f"({bounds.x_min:.2f}, {bounds.y_min:.2f}) .. "
+        f"({bounds.x_max:.2f}, {bounds.y_max:.2f})"
+    )
+    return 0
+
+
+def _cmd_visualize(args: argparse.Namespace) -> int:
+    points = load_points_csv(args.points)
+    print(render_density(points, width=args.width, height=args.height))
+    if args.blocks:
+        index = Quadtree(points, capacity=args.capacity)
+        print()
+        print(render_blocks(index, width=args.width, height=args.height))
+    return 0
+
+
+def _cmd_staircase(args: argparse.Namespace) -> int:
+    index = _load_index(args.points, args.capacity)
+    counts = CountIndex.from_index(index)
+    anchor = Point(args.x, args.y)
+    profile = select_cost_profile(counts, index.blocks, anchor, args.max_k)
+    print(f"{'k_start':>8} {'k_end':>8} {'cost':>6}")
+    for k_start, k_end, cost in profile:
+        print(f"{k_start:>8} {min(k_end, args.max_k):>8} {cost:>6}")
+    catalog = IntervalCatalog.from_profile(profile, max_k=args.max_k)
+    print()
+    print(render_staircase(catalog))
+    return 0
+
+
+def _cmd_estimate_select(args: argparse.Namespace) -> int:
+    index = _load_index(args.points, args.capacity)
+    counts = CountIndex.from_index(index)
+    query = Point(args.x, args.y)
+
+    if args.technique == "staircase":
+        estimator = StaircaseEstimator(index, max_k=args.max_k)
+    else:
+        estimator = DensityBasedEstimator(counts)
+    start = time.perf_counter()
+    estimate = estimator.estimate(query, args.k)
+    elapsed = time.perf_counter() - start
+    actual = select_cost_exact(counts, index.blocks, query, args.k)
+    error = abs(estimate - actual) / max(actual, 1)
+    print(f"technique:  {args.technique}")
+    print(f"estimate:   {estimate:.2f} blocks ({elapsed * 1e6:.1f} us)")
+    print(f"actual:     {actual} blocks")
+    print(f"error:      {error:.1%}")
+    return 0
+
+
+def _cmd_estimate_join(args: argparse.Namespace) -> int:
+    outer = _load_index(args.outer, args.capacity)
+    inner = _load_index(args.inner, args.capacity)
+    inner_counts = CountIndex.from_index(inner)
+
+    if args.technique == "catalog-merge":
+        estimator = CatalogMergeEstimator(
+            outer, inner_counts, sample_size=args.sample_size, max_k=args.max_k
+        )
+        estimate_fn = estimator.estimate
+    elif args.technique == "block-sample":
+        estimator = BlockSampleEstimator(
+            outer, inner_counts, sample_size=args.sample_size
+        )
+        estimate_fn = estimator.estimate
+    else:  # virtual-grid
+        grid = VirtualGridEstimator(
+            inner_counts,
+            bounds=outer.bounds.union(inner.bounds),
+            grid_size=args.grid_size,
+            max_k=args.max_k,
+        )
+        bound = grid.for_outer(outer)
+        estimate_fn = bound.estimate
+    start = time.perf_counter()
+    estimate = estimate_fn(args.k)
+    elapsed = time.perf_counter() - start
+    actual = knn_join_cost(outer, inner, args.k)
+    error = abs(estimate - actual) / max(actual, 1)
+    print(f"technique:  {args.technique}")
+    print(f"estimate:   {estimate:.0f} blocks ({elapsed * 1e3:.2f} ms)")
+    print(f"actual:     {actual} blocks")
+    print(f"error:      {error:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial k-NN cost estimation (EDBT 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    p.add_argument("--kind", choices=sorted(_GENERATORS), default="osm")
+    p.add_argument("-n", type=int, default=50_000, help="number of points")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True, help="output CSV path")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("index-stats", help="quadtree statistics of a CSV")
+    p.add_argument("points", help="points CSV")
+    p.add_argument("--capacity", type=int, default=256)
+    p.set_defaults(func=_cmd_index_stats)
+
+    p = sub.add_parser("visualize", help="ASCII density map of a CSV")
+    p.add_argument("points", help="points CSV")
+    p.add_argument("--blocks", action="store_true", help="overlay quadtree blocks")
+    p.add_argument("--capacity", type=int, default=256)
+    p.add_argument("--width", type=int, default=70)
+    p.add_argument("--height", type=int, default=24)
+    p.set_defaults(func=_cmd_visualize)
+
+    p = sub.add_parser("staircase", help="Figure-4-style staircase at a point")
+    p.add_argument("points", help="points CSV")
+    p.add_argument("--x", type=float, required=True)
+    p.add_argument("--y", type=float, required=True)
+    p.add_argument("--max-k", type=int, default=1_024)
+    p.add_argument("--capacity", type=int, default=256)
+    p.set_defaults(func=_cmd_staircase)
+
+    p = sub.add_parser("estimate-select", help="estimate a k-NN-Select cost")
+    p.add_argument("points", help="points CSV")
+    p.add_argument("--x", type=float, required=True)
+    p.add_argument("--y", type=float, required=True)
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument(
+        "--technique", choices=["staircase", "density"], default="staircase"
+    )
+    p.add_argument("--max-k", type=int, default=1_024)
+    p.add_argument("--capacity", type=int, default=256)
+    p.set_defaults(func=_cmd_estimate_select)
+
+    p = sub.add_parser("estimate-join", help="estimate a k-NN-Join cost")
+    p.add_argument("outer", help="outer relation CSV")
+    p.add_argument("inner", help="inner relation CSV")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument(
+        "--technique",
+        choices=["catalog-merge", "block-sample", "virtual-grid"],
+        default="catalog-merge",
+    )
+    p.add_argument("--sample-size", type=int, default=400)
+    p.add_argument("--grid-size", type=int, default=10)
+    p.add_argument("--max-k", type=int, default=1_024)
+    p.add_argument("--capacity", type=int, default=256)
+    p.set_defaults(func=_cmd_estimate_join)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

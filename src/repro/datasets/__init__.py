@@ -1,0 +1,31 @@
+"""Dataset generation and loading.
+
+The paper evaluates on a 0.1-billion-point OpenStreetMap GPS dump.  That
+dataset is not redistributable at this scale, so the reproduction ships
+a deterministic synthetic generator (:func:`generate_osm_like`) whose
+spatial distribution mimics GPS traces: dense anisotropic clusters
+("cities"), elongated corridors ("roads"), and a sparse uniform
+background.  See DESIGN.md §2 for why this substitution preserves the
+behaviours under study.
+"""
+
+from repro.datasets.synthetic import (
+    WORLD_BOUNDS,
+    generate_osm_like,
+    generate_uniform,
+    generate_gaussian_clusters,
+    generate_skewed,
+    scale_factor_points,
+)
+from repro.datasets.loader import save_points_csv, load_points_csv
+
+__all__ = [
+    "WORLD_BOUNDS",
+    "generate_osm_like",
+    "generate_uniform",
+    "generate_gaussian_clusters",
+    "generate_skewed",
+    "scale_factor_points",
+    "save_points_csv",
+    "load_points_csv",
+]

@@ -1,0 +1,37 @@
+"""Point-set persistence (CSV round trip).
+
+The benchmark harness regenerates datasets deterministically, but users
+bringing their own extracts (e.g. a real OpenStreetMap sample) can load
+them through :func:`load_points_csv`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.index.base import validate_points
+
+
+def save_points_csv(points, path: str | Path) -> None:
+    """Write an ``(n, 2)`` point array as a two-column ``x,y`` CSV."""
+    pts = validate_points(points)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(path, pts, delimiter=",", header="x,y", comments="")
+
+
+def load_points_csv(path: str | Path) -> np.ndarray:
+    """Load a two-column ``x,y`` CSV into an ``(n, 2)`` point array.
+
+    Raises:
+        FileNotFoundError: If ``path`` does not exist.
+        ValueError: If the file does not parse into two columns of
+            finite floats.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    return validate_points(data)

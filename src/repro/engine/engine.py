@@ -1,0 +1,54 @@
+"""The engine façade: register tables, explain and execute queries."""
+
+from __future__ import annotations
+
+from repro.engine.physical import ExecutionResult
+from repro.engine.planner import PlanExplanation, plan_join, plan_range, plan_select
+from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
+from repro.engine.stats import StatisticsManager
+from repro.engine.table import SpatialTable
+
+Query = KnnSelectQuery | KnnJoinQuery | RangeQuery
+
+
+class SpatialEngine:
+    """A miniature spatial query engine with a cost-based optimizer.
+
+    Usage::
+
+        engine = SpatialEngine()
+        engine.register(SpatialTable("restaurants", points, {"price": prices}))
+        query = KnnSelectQuery("restaurants", Point(3, 4), k=10,
+                               predicate=column("price") < 25)
+        result, explanation = engine.execute(query)
+
+    Args:
+        stats: A preconfigured statistics manager (a default one is
+            created when omitted).
+    """
+
+    def __init__(self, stats: StatisticsManager | None = None) -> None:
+        self.stats = stats or StatisticsManager()
+
+    def register(self, table: SpatialTable) -> None:
+        """Register (or replace) a relation."""
+        self.stats.register(table)
+
+    def explain(self, query: Query) -> PlanExplanation:
+        """Cost the query's QEP alternatives without executing."""
+        __, explanation = self._plan(query)
+        return explanation
+
+    def execute(self, query: Query) -> tuple[ExecutionResult, PlanExplanation]:
+        """Plan and run the query; returns results plus the explanation."""
+        operator, explanation = self._plan(query)
+        return operator.execute(), explanation
+
+    def _plan(self, query: Query):
+        if isinstance(query, KnnSelectQuery):
+            return plan_select(self.stats, query)
+        if isinstance(query, KnnJoinQuery):
+            return plan_join(self.stats, query)
+        if isinstance(query, RangeQuery):
+            return plan_range(self.stats, query)
+        raise TypeError(f"unsupported query type {type(query).__name__}")

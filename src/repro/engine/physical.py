@@ -1,0 +1,385 @@
+"""Executable physical operators.
+
+Every operator executes one query specification and reports the number
+of index blocks it scanned — the unit of the paper's cost model — so
+planner decisions can be validated against actual costs.
+
+k-NN-Select operators (the two QEPs of Section 1):
+
+* :class:`FilterThenKnnOperator` — full scan, filter, exact k-NN.
+* :class:`IncrementalKnnOperator` — distance browsing with predicates
+  evaluated on the fly, stopping at k qualifying rows.
+
+k-NN-Join operators:
+
+* :class:`LocalityJoinOperator` — block-by-block locality join
+  (predicates handled by inflating k to ``k / σ`` before the per-point
+  top-k filter).
+* :class:`PerPointSelectsOperator` — one incremental k-NN-Select per
+  outer row (wins for small outer relations).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
+from repro.engine.table import SpatialTable
+from repro.geometry import Point, mindist_point_rect
+from repro.knn.locality import locality_block_indices
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a physical operator.
+
+    Attributes:
+        operator: Name of the operator that produced the result.
+        blocks_scanned: Number of index blocks read (the paper's cost).
+        row_ids: For selects: qualifying row ids in distance order.
+        join_pairs: For joins: list of ``(outer_row_id, inner_row_ids)``
+            with inner ids in distance order.
+    """
+
+    operator: str
+    blocks_scanned: int
+    row_ids: np.ndarray | None = None
+    join_pairs: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def n_results(self) -> int:
+        """Number of result rows (select) or outer rows (join)."""
+        if self.row_ids is not None:
+            return int(self.row_ids.shape[0])
+        return len(self.join_pairs)
+
+
+def _qualifies(table: SpatialTable, query: KnnSelectQuery, row_id: int) -> bool:
+    """Whether one row passes the query's spatial and relational filters."""
+    if query.region is not None:
+        x, y = table.points[row_id]
+        if not query.region.contains_point(Point(float(x), float(y))):
+            return False
+    if query.predicate is not None:
+        return query.predicate.evaluate_row(table, row_id)
+    return True
+
+
+class FilterThenKnnOperator:
+    """QEP (i): filter everything first, then take the k closest.
+
+    Scans every block of the relation (the relational/spatial filters
+    have no index support in this engine), so its cost is the block
+    count — independent of k.
+    """
+
+    name = "filter-then-knn"
+
+    def __init__(self, table: SpatialTable, query: KnnSelectQuery) -> None:
+        self._table = table
+        self._query = query
+
+    def execute(self) -> ExecutionResult:
+        """Scan every block, filter, then answer the k-NN exactly."""
+        table, query = self._table, self._query
+        scanned = 0
+        qualifying: list[np.ndarray] = []
+        for block in table.index.blocks:
+            scanned += 1
+            row_ids = table.block_row_ids(block.block_id)
+            mask = np.ones(row_ids.shape[0], dtype=bool)
+            if query.region is not None:
+                pts = table.points[row_ids]
+                mask &= (
+                    (pts[:, 0] >= query.region.x_min)
+                    & (pts[:, 0] <= query.region.x_max)
+                    & (pts[:, 1] >= query.region.y_min)
+                    & (pts[:, 1] <= query.region.y_max)
+                )
+            if query.predicate is not None:
+                mask &= query.predicate.evaluate(table, row_ids)
+            if mask.any():
+                qualifying.append(row_ids[mask])
+        if not qualifying:
+            return ExecutionResult(self.name, scanned, row_ids=np.empty(0, dtype=np.int64))
+        rows = np.concatenate(qualifying)
+        pts = table.points[rows]
+        dists = np.hypot(pts[:, 0] - query.query.x, pts[:, 1] - query.query.y)
+        order = np.argsort(dists, kind="stable")[: query.k]
+        return ExecutionResult(self.name, scanned, row_ids=rows[order])
+
+
+class IncrementalKnnOperator:
+    """QEP (ii): distance browsing with on-the-fly filtering."""
+
+    name = "incremental-knn"
+
+    def __init__(self, table: SpatialTable, query: KnnSelectQuery) -> None:
+        self._table = table
+        self._query = query
+
+    def execute(self) -> ExecutionResult:
+        """Browse neighbors in distance order until k rows qualify."""
+        table, query = self._table, self._query
+        browser = _RowDistanceBrowser(table, query.query)
+        found: list[int] = []
+        for row_id in browser:
+            if _qualifies(table, query, row_id):
+                found.append(row_id)
+                if len(found) == query.k:
+                    break
+        return ExecutionResult(
+            self.name,
+            browser.blocks_scanned,
+            row_ids=np.array(found, dtype=np.int64),
+        )
+
+
+class RegionPrunedKnnOperator:
+    """QEP (iii): distance browsing that prunes blocks outside a region.
+
+    For a region-constrained k-NN the plain incremental plan still
+    scans blocks that cannot contain answers (they pass the MINDIST
+    test but miss the region).  This operator adds the region to the
+    block admission test, so its cost is bounded by the number of
+    blocks overlapping the region — often far below both other plans.
+
+    Only applicable when ``query.region`` is set.
+    """
+
+    name = "region-pruned-knn"
+
+    def __init__(self, table: SpatialTable, query: KnnSelectQuery) -> None:
+        if query.region is None:
+            raise ValueError("region-pruned browsing needs a region")
+        self._table = table
+        self._query = query
+
+    def execute(self) -> ExecutionResult:
+        """Browse with region pruning until k rows qualify."""
+        table, query = self._table, self._query
+        browser = _RowDistanceBrowser(table, query.query, region=query.region)
+        found: list[int] = []
+        for row_id in browser:
+            if _qualifies(table, query, row_id):
+                found.append(row_id)
+                if len(found) == query.k:
+                    break
+        return ExecutionResult(
+            self.name,
+            browser.blocks_scanned,
+            row_ids=np.array(found, dtype=np.int64),
+        )
+
+
+class _RowDistanceBrowser:
+    """Distance browsing over a table, yielding *row ids* in order.
+
+    Identical to :class:`repro.knn.DistanceBrowser` except tuples carry
+    row ids so attribute predicates can be evaluated per result, and an
+    optional region prunes non-overlapping subtrees.
+    """
+
+    def __init__(self, table: SpatialTable, query: Point, region=None) -> None:
+        self._region = region
+        self._table = table
+        self._query = query
+        self._counter = itertools.count()
+        self._blocks: list[tuple[float, int, object]] = []
+        self._tuples: list[tuple[float, int, int]] = []
+        self.blocks_scanned = 0
+        root = table.index.root
+        heapq.heappush(
+            self._blocks, (mindist_point_rect(query, root.rect), next(self._counter), root)
+        )
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> int:
+        while True:
+            if self._tuples and (
+                not self._blocks or self._tuples[0][0] < self._blocks[0][0]
+            ):
+                return heapq.heappop(self._tuples)[2]
+            if not self._blocks:
+                raise StopIteration
+            __, __, node = heapq.heappop(self._blocks)
+            if node.is_leaf:
+                block = node.block
+                if block is None:
+                    continue
+                if self._region is not None and not block.rect.intersects(
+                    self._region
+                ):
+                    continue
+                self.blocks_scanned += 1
+                row_ids = self._table.block_row_ids(block.block_id)
+                dists = block.distances_from(self._query)
+                for dist, row_id in zip(dists, row_ids):
+                    heapq.heappush(
+                        self._tuples, (float(dist), next(self._counter), int(row_id))
+                    )
+            else:
+                for child in node.children:
+                    if self._region is not None and not child.rect.intersects(
+                        self._region
+                    ):
+                        continue  # nothing qualifying can live there
+                    heapq.heappush(
+                        self._blocks,
+                        (
+                            mindist_point_rect(self._query, child.rect),
+                            next(self._counter),
+                            child,
+                        ),
+                    )
+
+
+class IndexRangeScanOperator:
+    """Range select via the spatial index: scan only overlapping blocks.
+
+    The fixed-region counterpart of the k-NN operators — "the spatial
+    region ... is predefined and fixed in the query", so the index
+    prunes exactly and the cost is the number of overlapping blocks.
+    """
+
+    name = "index-range-scan"
+
+    def __init__(self, table: SpatialTable, query: RangeQuery) -> None:
+        self._table = table
+        self._query = query
+
+    def execute(self) -> ExecutionResult:
+        """Scan only the blocks overlapping the region, then filter."""
+        table, query = self._table, self._query
+        scanned = 0
+        qualifying: list[np.ndarray] = []
+        for block in table.index.range_query_blocks(query.region):
+            scanned += 1
+            row_ids = table.block_row_ids(block.block_id)
+            pts = table.points[row_ids]
+            mask = (
+                (pts[:, 0] >= query.region.x_min)
+                & (pts[:, 0] <= query.region.x_max)
+                & (pts[:, 1] >= query.region.y_min)
+                & (pts[:, 1] <= query.region.y_max)
+            )
+            if query.predicate is not None:
+                mask &= query.predicate.evaluate(table, row_ids)
+            if mask.any():
+                qualifying.append(row_ids[mask])
+        rows = (
+            np.concatenate(qualifying)
+            if qualifying
+            else np.empty(0, dtype=np.int64)
+        )
+        return ExecutionResult(self.name, scanned, row_ids=rows)
+
+
+class LocalityJoinOperator:
+    """Block-by-block locality k-NN-Join with optional inner predicate.
+
+    With a predicate of selectivity σ, localities are computed at the
+    inflated ``k' = ceil(k / σ)`` so that, in expectation, enough
+    qualifying inner rows fall inside each locality; the per-point
+    top-k then filters exactly.  (A guarantee would require predicate-
+    aware counts; the planner treats this operator as approximate when
+    a predicate is present, and the tests measure its recall.)
+    """
+
+    name = "locality-join"
+
+    def __init__(
+        self,
+        outer: SpatialTable,
+        inner: SpatialTable,
+        query: KnnJoinQuery,
+        selectivity: float = 1.0,
+    ) -> None:
+        if not 0.0 < selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        self._outer = outer
+        self._inner = inner
+        self._query = query
+        self._selectivity = selectivity
+
+    def execute(self) -> ExecutionResult:
+        """Run the block-by-block locality join."""
+        outer, inner, query = self._outer, self._inner, self._query
+        inner_counts = inner.count_index
+        k_effective = min(
+            math.ceil(query.k / self._selectivity), max(inner.n_rows, 1)
+        )
+        scanned = 0
+        pairs: list[tuple[int, np.ndarray]] = []
+        for block in outer.index.blocks:
+            locality = locality_block_indices(inner_counts, block.rect, k_effective)
+            scanned += int(locality.shape[0])
+            candidate_rows = np.concatenate(
+                [inner.block_row_ids(i) for i in locality]
+            ) if locality.size else np.empty(0, dtype=np.int64)
+            if query.inner_predicate is not None and candidate_rows.size:
+                mask = query.inner_predicate.evaluate(inner, candidate_rows)
+                candidate_rows = candidate_rows[mask]
+            outer_rows = outer.block_row_ids(block.block_id)
+            if candidate_rows.size == 0:
+                pairs.extend(
+                    (int(r), np.empty(0, dtype=np.int64)) for r in outer_rows
+                )
+                continue
+            cand_pts = inner.points[candidate_rows]
+            outer_pts = outer.points[outer_rows]
+            dx = outer_pts[:, 0, None] - cand_pts[None, :, 0]
+            dy = outer_pts[:, 1, None] - cand_pts[None, :, 1]
+            dists = np.hypot(dx, dy)
+            k_eff = min(query.k, candidate_rows.shape[0])
+            if k_eff < candidate_rows.shape[0]:
+                top = np.argpartition(dists, k_eff - 1, axis=1)[:, :k_eff]
+            else:
+                top = np.broadcast_to(
+                    np.arange(candidate_rows.shape[0]),
+                    (outer_rows.shape[0], candidate_rows.shape[0]),
+                ).copy()
+            row_dists = np.take_along_axis(dists, top, axis=1)
+            order = np.argsort(row_dists, axis=1, kind="stable")
+            sorted_idx = np.take_along_axis(top, order, axis=1)
+            for i, outer_row in enumerate(outer_rows):
+                pairs.append((int(outer_row), candidate_rows[sorted_idx[i]]))
+        return ExecutionResult(self.name, scanned, join_pairs=pairs)
+
+
+class PerPointSelectsOperator:
+    """Execute the join as one incremental k-NN-Select per outer row."""
+
+    name = "per-point-selects"
+
+    def __init__(
+        self, outer: SpatialTable, inner: SpatialTable, query: KnnJoinQuery
+    ) -> None:
+        self._outer = outer
+        self._inner = inner
+        self._query = query
+
+    def execute(self) -> ExecutionResult:
+        """Run one incremental k-NN-Select per outer row."""
+        outer, inner, query = self._outer, self._inner, self._query
+        scanned = 0
+        pairs: list[tuple[int, np.ndarray]] = []
+        for row_id in range(outer.n_rows):
+            x, y = outer.points[row_id]
+            select = KnnSelectQuery(
+                table=inner.name,
+                query=Point(float(x), float(y)),
+                k=query.k,
+                predicate=query.inner_predicate,
+            )
+            result = IncrementalKnnOperator(inner, select).execute()
+            scanned += result.blocks_scanned
+            pairs.append((row_id, result.row_ids))
+        return ExecutionResult(self.name, scanned, join_pairs=pairs)

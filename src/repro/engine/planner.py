@@ -1,0 +1,217 @@
+"""The cost-based planner: QEP enumeration and arbitration.
+
+For each query shape the planner enumerates the applicable physical
+operators, costs each with the statistics manager's estimators, and
+returns the cheapest together with a :class:`PlanExplanation` that
+records every alternative — the reproduction's equivalent of
+``EXPLAIN``.
+
+Cost model (block scans, per the paper):
+
+* ``filter-then-knn`` — the relation's block count (full scan).
+* ``incremental-knn`` — the Staircase estimate at the *effective*
+  ``k' = ceil(k / σ)`` where σ combines the relational predicate's
+  sampled selectivity and the spatial region's estimated selectivity
+  (independence assumed, the textbook simplification).
+* ``locality-join`` — the pair's join-catalog estimate at ``k'``.
+* ``per-point-selects`` — outer row count times the mean Staircase
+  estimate over a spatial sample of outer rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog import CatalogLookupError
+from repro.engine.physical import (
+    FilterThenKnnOperator,
+    IncrementalKnnOperator,
+    IndexRangeScanOperator,
+    LocalityJoinOperator,
+    PerPointSelectsOperator,
+    RegionPrunedKnnOperator,
+)
+from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
+from repro.engine.stats import StatisticsManager
+from repro.geometry import Point
+
+#: Number of outer rows sampled when costing per-point-selects.
+SELECT_COST_SAMPLE = 32
+
+
+@dataclass
+class PlanExplanation:
+    """Why the planner chose what it chose.
+
+    Attributes:
+        chosen: Name of the selected operator.
+        alternatives: ``{operator name: estimated block cost}``.
+        effective_k: The ``k'`` the costs were computed at.
+        selectivity: The combined selectivity that produced ``k'``.
+    """
+
+    chosen: str
+    alternatives: dict[str, float] = field(default_factory=dict)
+    effective_k: int = 0
+    selectivity: float = 1.0
+
+    def cost_of(self, operator: str) -> float:
+        """Estimated cost of one alternative.
+
+        Raises:
+            KeyError: If the operator was not considered.
+        """
+        return self.alternatives[operator]
+
+    def __str__(self) -> str:
+        lines = [f"chosen: {self.chosen} (k'={self.effective_k}, σ={self.selectivity:.3g})"]
+        for name, cost in sorted(self.alternatives.items(), key=lambda kv: kv[1]):
+            marker = "->" if name == self.chosen else "  "
+            lines.append(f"  {marker} {name}: {cost:.1f} blocks")
+        return "\n".join(lines)
+
+
+def plan_select(
+    stats: StatisticsManager, query: KnnSelectQuery
+) -> tuple[FilterThenKnnOperator | IncrementalKnnOperator, PlanExplanation]:
+    """Choose between the two k-NN-Select QEPs of Section 1."""
+    table = stats.table(query.table)
+    if table.n_rows == 0:
+        # Nothing to scan: either plan is a no-op; pick the trivial scan.
+        explanation = PlanExplanation(
+            chosen=FilterThenKnnOperator.name,
+            alternatives={FilterThenKnnOperator.name: 0.0},
+            effective_k=query.k,
+            selectivity=1.0,
+        )
+        return FilterThenKnnOperator(table, query), explanation
+    sigma = stats.predicate_selectivity(query.table, query.predicate)
+    sigma *= stats.region_selectivity(query.table, query.region)
+    sigma = min(max(sigma, 1.0 / max(table.n_rows, 1)), 1.0)
+    effective_k = int(math.ceil(query.k / sigma))
+
+    cost_filter = float(table.index.num_blocks)
+    estimator = stats.select_estimator(query.table)
+    cost_incremental = estimator.estimate(query.query, effective_k)
+    # Browsing can never scan more than every block once.
+    cost_incremental = min(cost_incremental, cost_filter)
+
+    alternatives: dict[str, float] = {
+        FilterThenKnnOperator.name: cost_filter,
+        IncrementalKnnOperator.name: cost_incremental,
+    }
+    if query.region is not None and table.n_rows:
+        # Region pruning bounds browsing by the blocks inside the region.
+        region_blocks = float(table.count_index.overlapping(query.region).shape[0])
+        alternatives[RegionPrunedKnnOperator.name] = min(
+            cost_incremental, region_blocks
+        )
+
+    explanation = PlanExplanation(
+        chosen="",
+        alternatives=alternatives,
+        effective_k=effective_k,
+        selectivity=sigma,
+    )
+    # Ties resolve toward the earlier entry; the full scan's sequential
+    # pattern beats random-access browsing at equal block counts, and
+    # the pruned browser dominates the plain one whenever applicable.
+    order = [FilterThenKnnOperator.name]
+    if RegionPrunedKnnOperator.name in alternatives:
+        order.append(RegionPrunedKnnOperator.name)  # dominates plain browsing
+    order.append(IncrementalKnnOperator.name)
+    chosen = min(order, key=lambda name: (alternatives[name], order.index(name)))
+    explanation.chosen = chosen
+    if chosen == RegionPrunedKnnOperator.name:
+        return RegionPrunedKnnOperator(table, query), explanation
+    if chosen == IncrementalKnnOperator.name:
+        return IncrementalKnnOperator(table, query), explanation
+    return FilterThenKnnOperator(table, query), explanation
+
+
+def plan_range(
+    stats: StatisticsManager, query: RangeQuery
+) -> tuple[IndexRangeScanOperator, PlanExplanation]:
+    """Plan a range select (one QEP — its cost is fixed by the region).
+
+    Included so ``EXPLAIN`` covers the range operator the paper
+    contrasts against: the cost — the number of blocks overlapping the
+    region — is known exactly from the Count-Index, no catalogs needed.
+    """
+    table = stats.table(query.table)
+    if table.n_rows:
+        overlapping = table.count_index.overlapping(query.region)
+        cost = float(overlapping.shape[0])
+    else:
+        cost = 0.0
+    sigma = stats.predicate_selectivity(query.table, query.predicate)
+    sigma *= stats.region_selectivity(query.table, query.region)
+    explanation = PlanExplanation(
+        chosen=IndexRangeScanOperator.name,
+        alternatives={IndexRangeScanOperator.name: cost},
+        effective_k=0,
+        selectivity=sigma,
+    )
+    return IndexRangeScanOperator(table, query), explanation
+
+
+def plan_join(
+    stats: StatisticsManager, query: KnnJoinQuery
+) -> tuple[LocalityJoinOperator | PerPointSelectsOperator, PlanExplanation]:
+    """Choose between the block-by-block join and per-point selects."""
+    outer = stats.table(query.outer)
+    inner = stats.table(query.inner)
+    if outer.n_rows == 0 or inner.n_rows == 0:
+        # Degenerate join: zero work either way.
+        explanation = PlanExplanation(
+            chosen=PerPointSelectsOperator.name,
+            alternatives={PerPointSelectsOperator.name: 0.0},
+            effective_k=query.k,
+            selectivity=1.0,
+        )
+        return PerPointSelectsOperator(outer, inner, query), explanation
+    sigma = stats.predicate_selectivity(query.inner, query.inner_predicate)
+    sigma = min(max(sigma, 1.0 / max(inner.n_rows, 1)), 1.0)
+    effective_k = int(math.ceil(query.k / sigma))
+
+    join_estimator = stats.join_estimator(query.outer, query.inner)
+    try:
+        cost_join = join_estimator.estimate(min(effective_k, stats.max_k))
+        if effective_k > stats.max_k:
+            # Beyond the catalogs, scale by the worst case: every outer
+            # block scans the whole inner relation.
+            cost_join = min(
+                cost_join * (effective_k / stats.max_k),
+                float(outer.index.num_blocks * inner.index.num_blocks),
+            )
+    except CatalogLookupError:
+        cost_join = float(outer.index.num_blocks * inner.index.num_blocks)
+
+    select_estimator = stats.select_estimator(query.inner)
+    rng = np.random.default_rng(0)
+    sample = rng.integers(0, max(outer.n_rows, 1), size=min(SELECT_COST_SAMPLE, max(outer.n_rows, 1)))
+    per_select = [
+        select_estimator.estimate(
+            Point(float(outer.points[i, 0]), float(outer.points[i, 1])), effective_k
+        )
+        for i in sample
+    ]
+    cost_selects = float(np.mean(per_select)) * outer.n_rows if per_select else 0.0
+
+    explanation = PlanExplanation(
+        chosen="",
+        alternatives={
+            LocalityJoinOperator.name: cost_join,
+            PerPointSelectsOperator.name: cost_selects,
+        },
+        effective_k=effective_k,
+        selectivity=sigma,
+    )
+    if cost_join <= cost_selects:
+        explanation.chosen = LocalityJoinOperator.name
+        return LocalityJoinOperator(outer, inner, query, selectivity=sigma), explanation
+    explanation.chosen = PerPointSelectsOperator.name
+    return PerPointSelectsOperator(outer, inner, query), explanation

@@ -1,0 +1,233 @@
+"""The statistics manager: catalogs and estimators per relation.
+
+A query optimizer "keeps a set of catalog information that summarizes
+the cost estimates" (Section 2).  The statistics manager owns exactly
+that state for the engine:
+
+* per table — the Count-Index and a lazily built
+  :class:`~repro.estimators.staircase.StaircaseEstimator`;
+* per ordered table pair — a lazily built
+  :class:`~repro.estimators.catalog_merge.CatalogMergeEstimator`
+  (or, when configured for linear storage, one per-inner
+  :class:`~repro.estimators.virtual_grid.VirtualGridEstimator` shared
+  across outers — the Section 4.3 trade-off is a configuration switch
+  here);
+* per (table, predicate) — sampled selectivities.
+
+Everything is built on demand and cached, mirroring how a DBMS
+materializes statistics on first use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Literal
+
+from repro.catalog import CatalogStore
+from repro.engine.expressions import Predicate
+from repro.engine.table import SpatialTable
+from repro.estimators.base import JoinCostEstimator
+from repro.estimators.catalog_merge import CatalogMergeEstimator
+from repro.estimators.density import DensityBasedEstimator
+from repro.estimators.staircase import StaircaseEstimator
+from repro.estimators.virtual_grid import VirtualGridEstimator
+from repro.geometry import Rect
+
+JoinTechnique = Literal["catalog-merge", "virtual-grid"]
+
+
+class StatisticsManager:
+    """Owns per-table and per-pair estimation state.
+
+    Args:
+        max_k: Catalog limit for all built catalogs.
+        join_technique: ``"catalog-merge"`` (quadratic catalogs, highest
+            accuracy) or ``"virtual-grid"`` (linear catalogs).
+        join_sample_size: Sample size for Catalog-Merge preprocessing.
+        grid_size: Virtual-grid resolution.
+        world_bounds: Fixed universe for virtual grids (must cover every
+            relation).
+    """
+
+    def __init__(
+        self,
+        max_k: int = 1_024,
+        join_technique: JoinTechnique = "catalog-merge",
+        join_sample_size: int = 400,
+        grid_size: int = 10,
+        world_bounds: Rect | None = None,
+    ) -> None:
+        if join_technique not in ("catalog-merge", "virtual-grid"):
+            raise ValueError(f"unknown join technique {join_technique!r}")
+        self.max_k = max_k
+        self.join_technique: JoinTechnique = join_technique
+        self.join_sample_size = join_sample_size
+        self.grid_size = grid_size
+        self.world_bounds = world_bounds
+        self._tables: dict[str, SpatialTable] = {}
+        self._select_estimators: dict[str, StaircaseEstimator] = {}
+        self._density_estimators: dict[str, DensityBasedEstimator] = {}
+        self._pair_estimators: dict[tuple[str, str], JoinCostEstimator] = {}
+        self._grid_estimators: dict[str, VirtualGridEstimator] = {}
+        self._selectivities: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, table: SpatialTable) -> None:
+        """Register a relation (replacing drops its cached statistics)."""
+        self._tables[table.name] = table
+        self._select_estimators.pop(table.name, None)
+        self._density_estimators.pop(table.name, None)
+        self._grid_estimators.pop(table.name, None)
+        self._pair_estimators = {
+            pair: est
+            for pair, est in self._pair_estimators.items()
+            if table.name not in pair
+        }
+        self._selectivities = {
+            key: value
+            for key, value in self._selectivities.items()
+            if key[0] != table.name
+        }
+
+    def table(self, name: str) -> SpatialTable:
+        """Look up a registered relation.
+
+        Raises:
+            KeyError: For unknown names.
+        """
+        if name not in self._tables:
+            raise KeyError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all registered relations."""
+        return tuple(self._tables)
+
+    # ------------------------------------------------------------------
+    # Estimators (lazy, cached)
+    # ------------------------------------------------------------------
+    def select_estimator(self, name: str) -> StaircaseEstimator:
+        """The Staircase estimator of a relation (built on first use)."""
+        if name not in self._select_estimators:
+            table = self.table(name)
+            self._select_estimators[name] = StaircaseEstimator(
+                table.index, max_k=self.max_k
+            )
+        return self._select_estimators[name]
+
+    def density_estimator(self, name: str) -> DensityBasedEstimator:
+        """The density-based (no-preprocessing) estimator of a relation."""
+        if name not in self._density_estimators:
+            self._density_estimators[name] = DensityBasedEstimator(
+                self.table(name).count_index
+            )
+        return self._density_estimators[name]
+
+    def join_estimator(self, outer: str, inner: str) -> JoinCostEstimator:
+        """The join-cost estimator of an ordered relation pair."""
+        pair = (outer, inner)
+        if pair not in self._pair_estimators:
+            outer_table = self.table(outer)
+            inner_table = self.table(inner)
+            if self.join_technique == "catalog-merge":
+                estimator: JoinCostEstimator = CatalogMergeEstimator(
+                    outer_table.index,
+                    inner_table.count_index,
+                    sample_size=self.join_sample_size,
+                    max_k=self.max_k,
+                )
+            else:
+                estimator = self._virtual_grid(inner).for_outer(
+                    outer_table.count_index
+                )
+            self._pair_estimators[pair] = estimator
+        return self._pair_estimators[pair]
+
+    def _virtual_grid(self, inner: str) -> VirtualGridEstimator:
+        """One shared grid catalog set per inner relation."""
+        if inner not in self._grid_estimators:
+            inner_table = self.table(inner)
+            bounds = self.world_bounds or inner_table.index.bounds
+            self._grid_estimators[inner] = VirtualGridEstimator(
+                inner_table.count_index,
+                bounds=bounds,
+                grid_size=self.grid_size,
+                max_k=self.max_k,
+            )
+        return self._grid_estimators[inner]
+
+    # ------------------------------------------------------------------
+    # Selectivities
+    # ------------------------------------------------------------------
+    def predicate_selectivity(self, name: str, predicate: Predicate | None) -> float:
+        """Sampled selectivity of ``predicate`` on relation ``name``."""
+        if predicate is None:
+            return 1.0
+        key = (name, repr(predicate))
+        if key not in self._selectivities:
+            self._selectivities[key] = predicate.estimate_selectivity(self.table(name))
+        return self._selectivities[key]
+
+    def region_selectivity(self, name: str, region: Rect | None) -> float:
+        """Estimated fraction of rows inside ``region`` (1.0 when None).
+
+        Clamped away from zero — the optimizer divides by it.
+        """
+        if region is None:
+            return 1.0
+        table = self.table(name)
+        if table.n_rows == 0:
+            return 1.0
+        selectivity = table.count_index.estimate_range_selectivity(region)
+        return max(selectivity, 1.0 / table.n_rows)
+
+    # ------------------------------------------------------------------
+    # Persistence: build catalogs offline once, load at engine startup.
+    # ------------------------------------------------------------------
+    def save_select_catalogs(self, directory: str | Path) -> list[str]:
+        """Persist every built Staircase estimator; returns saved names."""
+        directory = Path(directory)
+        saved = []
+        for name, estimator in self._select_estimators.items():
+            estimator.to_store().save(directory / f"{name}.staircase.bin")
+            saved.append(name)
+        return saved
+
+    def load_select_catalogs(self, directory: str | Path) -> list[str]:
+        """Load persisted Staircase catalogs for registered tables.
+
+        Tables without a matching file (or whose index no longer
+        matches the stored catalogs) are skipped and will be rebuilt
+        lazily; returns the names actually loaded.
+        """
+        directory = Path(directory)
+        loaded = []
+        for name in self._tables:
+            path = directory / f"{name}.staircase.bin"
+            if not path.exists():
+                continue
+            try:
+                store = CatalogStore.load(path)
+                self._select_estimators[name] = StaircaseEstimator.from_store(
+                    self._tables[name].index, store
+                )
+                loaded.append(name)
+            except ValueError:
+                continue  # stale store: rebuild lazily on next use
+        return loaded
+
+    def total_catalog_bytes(self) -> int:
+        """Storage of every catalog built so far (monitoring hook)."""
+        total = sum(e.storage_bytes() for e in self._select_estimators.values())
+        total += sum(e.storage_bytes() for e in self._grid_estimators.values())
+        total += sum(
+            e.storage_bytes()
+            for pair, e in self._pair_estimators.items()
+            if self.join_technique == "catalog-merge"
+        )
+        return total

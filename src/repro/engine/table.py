@@ -1,0 +1,180 @@
+"""Attribute-carrying spatial tables.
+
+A :class:`SpatialTable` is the engine's base relation: an ``(n, 2)``
+point array, named attribute columns aligned with the points, and a
+quadtree index over the locations.  Because the quadtree reorders the
+points into blocks, each block remembers the original row positions so
+attribute lookups stay aligned; the table keeps a parallel "block row
+map" from (block, offset) to row id.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.index.base import validate_points
+from repro.index.count_index import CountIndex
+from repro.index.quadtree import Quadtree
+
+
+class SpatialTable:
+    """A named spatial relation with attribute columns.
+
+    Args:
+        name: Relation name (used in plans and statistics keys).
+        points: ``(n, 2)`` point locations.
+        attributes: Mapping of column name to an ``(n,)`` array aligned
+            with ``points``.
+        capacity: Leaf capacity of the table's quadtree index.
+
+    Raises:
+        ValueError: On misaligned columns or invalid points.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        points,
+        attributes: Mapping[str, np.ndarray] | None = None,
+        capacity: int = 256,
+    ) -> None:
+        if not name:
+            raise ValueError("tables need a non-empty name")
+        pts = validate_points(points)
+        self.name = name
+        self._points = pts
+        self._attributes: dict[str, np.ndarray] = {}
+        for column, values in (attributes or {}).items():
+            arr = np.asarray(values)
+            if arr.shape != (pts.shape[0],):
+                raise ValueError(
+                    f"column {column!r} has shape {arr.shape}, expected "
+                    f"({pts.shape[0]},)"
+                )
+            self._attributes[column] = arr
+        # Index the points tagged with their row ids so blocks can map
+        # back to attribute rows: the quadtree partitions an (n, 3)
+        # array's first two columns... instead we index (x, y) and keep
+        # a row-id column by indexing an augmented array and slicing.
+        if pts.shape[0]:
+            augmented = np.column_stack([pts, np.arange(pts.shape[0], dtype=float)])
+            self._index = _RowTaggedQuadtree(augmented, capacity=capacity)
+        else:
+            self._index = _RowTaggedQuadtree(np.empty((0, 3)), capacity=capacity)
+        self._count_index = CountIndex.from_index(self._index) if pts.shape[0] else None
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (points)."""
+        return int(self._points.shape[0])
+
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(n, 2)`` location array in row order."""
+        return self._points
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Names of the attribute columns."""
+        return tuple(self._attributes)
+
+    @property
+    def index(self) -> Quadtree:
+        """The table's quadtree index (blocks carry row ids)."""
+        return self._index
+
+    @property
+    def count_index(self) -> CountIndex:
+        """The table's Count-Index.
+
+        Raises:
+            ValueError: For an empty table (no blocks to count).
+        """
+        if self._count_index is None:
+            raise ValueError(f"table {self.name!r} is empty")
+        return self._count_index
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def column_values(self, column: str) -> np.ndarray:
+        """The full value array of ``column`` in row order.
+
+        Raises:
+            KeyError: If the column does not exist.
+        """
+        if column not in self._attributes:
+            raise KeyError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"available: {sorted(self._attributes)}"
+            )
+        return self._attributes[column]
+
+    def block_row_ids(self, block_id: int) -> np.ndarray:
+        """Original row ids of the points in block ``block_id``."""
+        return self._index.row_ids_for(block_id)
+
+    def rows(self, row_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Materialize locations and attributes for the given rows."""
+        out: dict[str, np.ndarray] = {
+            "x": self._points[row_ids, 0],
+            "y": self._points[row_ids, 1],
+        }
+        for column, values in self._attributes.items():
+            out[column] = values[row_ids]
+        return out
+
+
+class _RowTaggedQuadtree(Quadtree):
+    """A quadtree that remembers each block's original row ids.
+
+    The quadtree split is a pure function of (x, y) and the bounds, so
+    re-running the same deterministic partition over (x, y, row_id)
+    rows reproduces every block's membership in construction order; the
+    tags are collected per block without touching the (immutable) block
+    objects.
+    """
+
+    def __init__(self, augmented: np.ndarray, capacity: int) -> None:
+        self._augmented = augmented
+        super().__init__(
+            augmented[:, :2] if augmented.size else np.empty((0, 2)),
+            capacity=capacity,
+        )
+        self._row_ids: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for __ in self.blocks
+        ]
+        self._attach_row_ids()
+
+    def row_ids_for(self, block_id: int) -> np.ndarray:
+        """Original row ids of the points in block ``block_id``."""
+        return self._row_ids[block_id]
+
+    def _attach_row_ids(self) -> None:
+        """Recompute the partition over (x, y, row) and collect tags."""
+        if self._augmented.shape[0] == 0:
+            return
+        next_block = iter(range(len(self.blocks)))
+
+        def recurse(rows: np.ndarray, rect, depth: int) -> None:
+            if rows.shape[0] <= self.capacity or depth >= self._max_depth:
+                if rows.shape[0]:
+                    block_id = next(next_block)
+                    self._row_ids[block_id] = rows[:, 2].astype(np.int64)
+                return
+            cx = (rect.x_min + rect.x_max) / 2.0
+            cy = (rect.y_min + rect.y_max) / 2.0
+            west = rows[:, 0] < cx
+            south = rows[:, 1] < cy
+            for mask, quadrant in zip(
+                (west & south, ~west & south, west & ~south, ~west & ~south),
+                rect.quadrants(),
+            ):
+                recurse(rows[mask], quadrant, depth + 1)
+
+        recurse(self._augmented, self.bounds, 0)

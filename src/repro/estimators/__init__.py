@@ -1,0 +1,43 @@
+"""Cost estimators for spatial k-NN operators — the paper's contribution.
+
+k-NN-Select (Section 3):
+
+* :class:`~repro.estimators.density.DensityBasedEstimator` — the
+  state-of-the-art baseline (Tao et al., TKDE 2004) adapted to
+  non-uniform data via per-block densities.
+* :class:`~repro.estimators.staircase.StaircaseEstimator` — the paper's
+  catalog-based technique, Center-Only and Center+Corners variants.
+
+k-NN-Join (Section 4):
+
+* :class:`~repro.estimators.block_sample.BlockSampleEstimator` — the
+  sampling baseline (no preprocessing, slow estimation).
+* :class:`~repro.estimators.catalog_merge.CatalogMergeEstimator` —
+  merged per-pair catalogs (fast lookup, quadratic catalog count).
+* :class:`~repro.estimators.virtual_grid.VirtualGridEstimator` — one
+  grid catalog per inner relation (linear catalog count).
+"""
+
+from repro.estimators.base import SelectCostEstimator, JoinCostEstimator
+from repro.estimators.density import DensityBasedEstimator
+from repro.estimators.uniform_model import UniformModelEstimator
+from repro.estimators.staircase import StaircaseEstimator, build_select_catalog
+from repro.estimators.maintenance import MaintainedStaircaseEstimator
+from repro.estimators.block_sample import BlockSampleEstimator, sample_block_indices
+from repro.estimators.catalog_merge import CatalogMergeEstimator
+from repro.estimators.virtual_grid import VirtualGridEstimator, BoundVirtualGridEstimator
+
+__all__ = [
+    "SelectCostEstimator",
+    "JoinCostEstimator",
+    "DensityBasedEstimator",
+    "UniformModelEstimator",
+    "StaircaseEstimator",
+    "MaintainedStaircaseEstimator",
+    "build_select_catalog",
+    "BlockSampleEstimator",
+    "sample_block_indices",
+    "CatalogMergeEstimator",
+    "VirtualGridEstimator",
+    "BoundVirtualGridEstimator",
+]

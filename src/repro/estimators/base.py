@@ -1,0 +1,70 @@
+"""Shared estimator interfaces.
+
+Every estimator reports the three quantities the paper's evaluation
+trades off besides accuracy: estimation time (measured externally by
+the benchmarks), preprocessing time (:attr:`preprocessing_seconds`,
+recorded during construction), and storage overhead
+(:meth:`storage_bytes`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.geometry import Point
+
+
+class SelectCostEstimator(abc.ABC):
+    """Estimates the block-scan cost of a k-NN-Select ``σ_kNN,q(R)``."""
+
+    #: Wall-clock seconds spent building catalogs (0 when none are built).
+    preprocessing_seconds: float = 0.0
+
+    @abc.abstractmethod
+    def estimate(self, query: Point, k: int) -> float:
+        """Estimate the number of blocks scanned for ``σ_kNN,query``.
+
+        Args:
+            query: The query focal point.
+            k: Number of neighbors requested.
+
+        Returns:
+            The estimated block-scan cost (possibly fractional).
+        """
+
+    @abc.abstractmethod
+    def storage_bytes(self) -> int:
+        """Bytes of catalog/statistics state the estimator maintains."""
+
+
+class JoinCostEstimator(abc.ABC):
+    """Estimates the block-scan cost of a k-NN-Join ``R ⋉_kNN S``.
+
+    Instances are bound to one (outer, inner) relation pair; the
+    Virtual-Grid technique binds lazily via
+    :meth:`~repro.estimators.virtual_grid.VirtualGridEstimator.for_outer`.
+    """
+
+    #: Wall-clock seconds spent building catalogs (0 when none are built).
+    preprocessing_seconds: float = 0.0
+
+    @abc.abstractmethod
+    def estimate(self, k: int) -> float:
+        """Estimate the total number of inner blocks scanned by the join.
+
+        Args:
+            k: Number of neighbors per outer point.
+
+        Returns:
+            The estimated total block-scan cost (possibly fractional).
+        """
+
+    @abc.abstractmethod
+    def storage_bytes(self) -> int:
+        """Bytes of catalog state the estimator maintains."""
+
+
+def validate_k(k: int) -> None:
+    """Common argument check shared by all estimators."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")

@@ -1,0 +1,160 @@
+"""Catalog maintenance under updates.
+
+The paper builds its catalogs once, offline.  A deployed optimizer must
+keep them usable while the data changes.
+:class:`MaintainedStaircaseEstimator` implements the standard two-level
+statistics-refresh policy on top of a
+:class:`~repro.index.mutable_quadtree.MutableQuadtree`:
+
+* **Lazy per-leaf refresh** — catalogs are keyed by the leaf's region;
+  an estimate touching a region that changed (or that has never been
+  built) rebuilds just that leaf's center/corners catalogs with
+  Procedure 1.  Splits and merges change the region key, so their
+  catalogs refresh automatically.
+* **Staleness budget** — every catalog's profile depends on *other*
+  blocks' contents, so per-leaf refresh alone drifts as updates
+  accumulate.  When the fraction of mutations since the last full
+  refresh exceeds ``staleness_threshold`` of the table size, the whole
+  cache (and the Count-Index snapshot) is dropped and rebuilt on
+  demand.
+
+The maintenance tests quantify the drift this policy allows and verify
+that estimates converge back to fresh-estimator quality after refresh.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import IntervalCatalog, merge_max
+from repro.estimators.base import SelectCostEstimator, validate_k
+from repro.estimators.density import DensityBasedEstimator
+from repro.estimators.staircase import DEFAULT_MAX_K, build_select_catalog
+from repro.geometry import Point
+from repro.index.count_index import CountIndex
+from repro.index.mutable_quadtree import MutableQuadtree
+
+
+class MaintainedStaircaseEstimator(SelectCostEstimator):
+    """A Staircase estimator that stays valid under inserts/deletes.
+
+    Args:
+        index: The mutable data index (also serves as the auxiliary
+            index — it is space-partitioning).
+        max_k: Catalog limit.
+        staleness_threshold: Fraction of the table size whose worth of
+            mutations forces a full statistics refresh.
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+
+    def __init__(
+        self,
+        index: MutableQuadtree,
+        max_k: int = DEFAULT_MAX_K,
+        staleness_threshold: float = 0.10,
+    ) -> None:
+        if max_k < 1:
+            raise ValueError(f"max_k must be >= 1, got {max_k}")
+        if not 0.0 < staleness_threshold <= 1.0:
+            raise ValueError(
+                f"staleness_threshold must be in (0, 1], got {staleness_threshold}"
+            )
+        self._index = index
+        self._max_k = max_k
+        self._threshold = staleness_threshold
+        self._center: dict[tuple, IntervalCatalog] = {}
+        self._corners: dict[tuple, IntervalCatalog] = {}
+        #: Per-leaf build watermark: how many tracked mutations existed
+        #: when the leaf's catalogs were last (re)built.
+        self._built_at: dict[tuple, int] = {}
+        self._snapshot: CountIndex | None = None
+        self.full_refreshes = 0
+        self.leaf_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Refresh policy
+    # ------------------------------------------------------------------
+    def _current_counts(self) -> CountIndex:
+        """The Count-Index snapshot, refreshed per policy."""
+        drift = self._index.mutations_since_clear
+        over_budget = drift > self._threshold * max(self._index.num_points, 1)
+        if self._snapshot is None or over_budget:
+            self._full_refresh()
+        return self._snapshot
+
+    def _full_refresh(self) -> None:
+        """Drop every cached catalog and resnapshot the Count-Index."""
+        self._center.clear()
+        self._corners.clear()
+        self._built_at.clear()
+        if self._index.num_blocks:
+            self._snapshot = CountIndex.from_index(self._index)
+        else:
+            self._snapshot = None
+        self._index.clear_dirty()
+        self.full_refreshes += 1
+
+    def refresh(self) -> None:
+        """Force a full statistics refresh now (e.g. after a bulk load)."""
+        self._full_refresh()
+
+    def _leaf_catalogs(
+        self, key: tuple, anchor_rect, counts: CountIndex
+    ) -> tuple[IntervalCatalog, IntervalCatalog]:
+        """Fetch or rebuild one leaf's center and corners catalogs."""
+        regions = self._index.dirty_regions
+        built_at = self._built_at.get(key)
+        if built_at is None:
+            dirty = True
+        else:
+            dirty = any(anchor_rect.intersects(r) for r in regions[built_at:])
+        if dirty:
+            blocks = self._index.blocks
+            self._center[key] = build_select_catalog(
+                counts, blocks, anchor_rect.center, self._max_k
+            )
+            self._corners[key] = merge_max(
+                [
+                    build_select_catalog(counts, blocks, corner, self._max_k)
+                    for corner in anchor_rect.corners()
+                ]
+            )
+            self._built_at[key] = len(regions)
+            self.leaf_refreshes += 1
+        return self._center[key], self._corners[key]
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(self, query: Point, k: int) -> float:
+        """Estimate the select cost against the *current* data."""
+        validate_k(k)
+        if self._index.num_blocks == 0:
+            return 0.0
+        counts = self._current_counts()
+        if k > self._max_k:
+            return DensityBasedEstimator(counts).estimate(query, k)
+        if not self._index.bounds.contains_point(query):
+            return DensityBasedEstimator(counts).estimate(query, k)
+        leaf = self._index.leaf_for(query)
+        rect = leaf.rect
+        center_cat, corners_cat = self._leaf_catalogs(rect.as_tuple(), rect, counts)
+        c_center = center_cat.lookup(k)
+        c_corner = corners_cat.lookup(k)
+        if rect.diagonal == 0.0:
+            return c_center
+        distance = query.distance_to(rect.center)
+        return c_center + (2.0 * distance / rect.diagonal) * (c_corner - c_center)
+
+    def storage_bytes(self) -> int:
+        """Serialized size of the currently cached catalogs."""
+        from repro.catalog import catalog_storage_bytes
+
+        total = sum(catalog_storage_bytes(c) for c in self._center.values())
+        total += sum(catalog_storage_bytes(c) for c in self._corners.values())
+        return total
+
+    @property
+    def cached_leaves(self) -> int:
+        """Number of leaves whose catalogs are currently cached."""
+        return len(self._center)

@@ -1,0 +1,7 @@
+"""Enable ``python -m repro.experiments <figXX>``."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

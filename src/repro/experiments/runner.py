@@ -1,0 +1,95 @@
+"""Command-line runner for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments fig11 --profile default
+    python -m repro.experiments all --profile quick
+    repro-experiments fig17 --profile full
+
+Each experiment prints the table that corresponds to one figure of the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.common import PROFILES, get_config, ExperimentResult
+
+#: Experiment id -> implementing module (one per paper table/figure).
+EXPERIMENTS: dict[str, str] = {
+    "fig04": "repro.experiments.fig04_staircase_profile",
+    "fig07": "repro.experiments.fig07_locality_profile",
+    "fig11": "repro.experiments.fig11_select_accuracy",
+    "fig12": "repro.experiments.fig12_select_time",
+    "fig13": "repro.experiments.fig13_select_preprocessing",
+    "fig14": "repro.experiments.fig14_select_storage",
+    "fig15": "repro.experiments.fig15_join_accuracy_sample",
+    "fig16": "repro.experiments.fig16_join_accuracy_grid",
+    "fig17": "repro.experiments.fig17_join_time_k",
+    "fig18": "repro.experiments.fig18_join_time_sample",
+    "fig19": "repro.experiments.fig19_join_time_grid",
+    "fig20": "repro.experiments.fig20_join_storage_scale",
+    "fig21": "repro.experiments.fig21_join_preprocessing_scale",
+    "fig22": "repro.experiments.fig22_join_storage_params",
+    "fig23": "repro.experiments.fig23_join_preprocessing_params",
+    "fig24": "repro.experiments.fig24_summary",
+}
+
+
+def experiment_runner(name: str) -> Callable[..., ExperimentResult]:
+    """Resolve an experiment id to its ``run`` callable.
+
+    Raises:
+        KeyError: For an unknown experiment id.
+    """
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; expected one of {sorted(EXPERIMENTS)}")
+    module = importlib.import_module(EXPERIMENTS[name])
+    return module.run
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper figure number) or 'all'",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="default",
+        help="testbed scale profile (default: default)",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=["osm", "uniform", "skewed"],
+        default=None,
+        help="override the synthetic dataset family",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    overrides = {"dataset_kind": args.dataset} if args.dataset else {}
+    config = get_config(args.profile, **overrides)
+    for name in names:
+        start = time.perf_counter()
+        result = experiment_runner(name)(config)
+        elapsed = time.perf_counter() - start
+        print(result.format_table())
+        print(f"  [{name} completed in {elapsed:.1f}s, profile={args.profile}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

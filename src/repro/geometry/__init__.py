@@ -1,0 +1,40 @@
+"""Geometric substrate: points, rectangles, and spatial distance metrics.
+
+The paper's techniques are defined over two-dimensional Euclidean space
+and make extensive use of the MINDIST and MAXDIST metrics between points
+and blocks (rectangles) and between pairs of blocks.  This subpackage
+provides those primitives, both as scalar functions and as vectorized
+batch variants backed by numpy.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.metrics import (
+    euclidean,
+    mindist_point_rect,
+    maxdist_point_rect,
+    mindist_rect_rect,
+    maxdist_rect_rect,
+    mindist_point_rects,
+    maxdist_point_rects,
+    mindist_rect_rects,
+    maxdist_rect_rects,
+    circle_inside_rect,
+    circle_inside_union,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "euclidean",
+    "mindist_point_rect",
+    "maxdist_point_rect",
+    "mindist_rect_rect",
+    "maxdist_rect_rect",
+    "mindist_point_rects",
+    "maxdist_point_rects",
+    "mindist_rect_rects",
+    "maxdist_rect_rects",
+    "circle_inside_rect",
+    "circle_inside_union",
+]

@@ -1,0 +1,167 @@
+"""MINDIST / MAXDIST metrics between points and rectangles.
+
+Following Roussopoulos et al. (cited as [19] in the paper):
+
+* ``MINDIST(p, b)`` — the minimum possible Euclidean distance between a
+  point ``p`` and any point inside block ``b``.  Zero when ``p`` lies
+  inside ``b``.
+* ``MAXDIST(p, b)`` — the maximum possible distance between ``p`` and any
+  point inside ``b``; attained at the corner of ``b`` farthest from ``p``.
+* The block-to-block versions take the min/max over all point pairs of
+  the two blocks.  ``MAXDIST(a, b)`` is attained at a pair of opposite
+  corners; ``MINDIST(a, b)`` is zero when the blocks overlap.
+
+Each metric is provided in a scalar form (single rectangle) and in a
+vectorized form (``(n, 4)`` array of rectangle bounds), since MINDIST
+scans over all blocks of an index are the inner loop of every estimator.
+
+Vectorized rectangle arrays use column order ``x_min, y_min, x_max,
+y_max``, matching :meth:`repro.geometry.rect.Rect.as_tuple`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between ``(ax, ay)`` and ``(bx, by)``."""
+    return math.hypot(ax - bx, ay - by)
+
+
+# ----------------------------------------------------------------------
+# Scalar point <-> rect
+# ----------------------------------------------------------------------
+def mindist_point_rect(p: Point, r: Rect) -> float:
+    """Minimum distance between point ``p`` and rectangle ``r``.
+
+    Zero iff ``p`` lies inside (or on the boundary of) ``r``.
+    """
+    dx = max(r.x_min - p.x, 0.0, p.x - r.x_max)
+    dy = max(r.y_min - p.y, 0.0, p.y - r.y_max)
+    return math.hypot(dx, dy)
+
+
+def maxdist_point_rect(p: Point, r: Rect) -> float:
+    """Maximum distance between point ``p`` and any point of rectangle ``r``.
+
+    Attained at the corner of ``r`` farthest from ``p``.
+    """
+    dx = max(abs(p.x - r.x_min), abs(p.x - r.x_max))
+    dy = max(abs(p.y - r.y_min), abs(p.y - r.y_max))
+    return math.hypot(dx, dy)
+
+
+# ----------------------------------------------------------------------
+# Scalar rect <-> rect
+# ----------------------------------------------------------------------
+def mindist_rect_rect(a: Rect, b: Rect) -> float:
+    """Minimum distance between any point of ``a`` and any point of ``b``.
+
+    Zero iff the rectangles intersect.
+    """
+    dx = max(b.x_min - a.x_max, 0.0, a.x_min - b.x_max)
+    dy = max(b.y_min - a.y_max, 0.0, a.y_min - b.y_max)
+    return math.hypot(dx, dy)
+
+
+def maxdist_rect_rect(a: Rect, b: Rect) -> float:
+    """Maximum distance between any point of ``a`` and any point of ``b``."""
+    dx = max(b.x_max - a.x_min, a.x_max - b.x_min)
+    dy = max(b.y_max - a.y_min, a.y_max - b.y_min)
+    # When one rectangle is degenerate and nested, per-axis spreads are
+    # still non-negative because max(u, -u) >= 0 for the two symmetric
+    # differences above; guard anyway for numerical safety.
+    return math.hypot(max(dx, 0.0), max(dy, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Vectorized variants (rects given as an (n, 4) bounds array)
+# ----------------------------------------------------------------------
+def _as_bounds_array(rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
+    """Normalize input to an ``(n, 4)`` float array of rect bounds."""
+    if isinstance(rects, np.ndarray):
+        bounds = np.asarray(rects, dtype=float)
+        if bounds.ndim != 2 or bounds.shape[1] != 4:
+            raise ValueError(f"expected an (n, 4) bounds array, got shape {bounds.shape}")
+        return bounds
+    return np.array([r.as_tuple() for r in rects], dtype=float).reshape(-1, 4)
+
+
+def mindist_point_rects(p: Point, rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mindist_point_rect` against many rectangles."""
+    bounds = _as_bounds_array(rects)
+    dx = np.maximum(np.maximum(bounds[:, 0] - p.x, 0.0), p.x - bounds[:, 2])
+    dy = np.maximum(np.maximum(bounds[:, 1] - p.y, 0.0), p.y - bounds[:, 3])
+    return np.hypot(dx, dy)
+
+
+def maxdist_point_rects(p: Point, rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`maxdist_point_rect` against many rectangles."""
+    bounds = _as_bounds_array(rects)
+    dx = np.maximum(np.abs(p.x - bounds[:, 0]), np.abs(p.x - bounds[:, 2]))
+    dy = np.maximum(np.abs(p.y - bounds[:, 1]), np.abs(p.y - bounds[:, 3]))
+    return np.hypot(dx, dy)
+
+
+def mindist_rect_rects(a: Rect, rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mindist_rect_rect` of one rectangle against many."""
+    bounds = _as_bounds_array(rects)
+    dx = np.maximum(np.maximum(bounds[:, 0] - a.x_max, 0.0), a.x_min - bounds[:, 2])
+    dy = np.maximum(np.maximum(bounds[:, 1] - a.y_max, 0.0), a.y_min - bounds[:, 3])
+    return np.hypot(dx, dy)
+
+
+def maxdist_rect_rects(a: Rect, rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`maxdist_rect_rect` of one rectangle against many."""
+    bounds = _as_bounds_array(rects)
+    dx = np.maximum(bounds[:, 2] - a.x_min, a.x_max - bounds[:, 0])
+    dy = np.maximum(bounds[:, 3] - a.y_min, a.y_max - bounds[:, 1])
+    return np.hypot(np.maximum(dx, 0.0), np.maximum(dy, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Circle containment (used by the density-based estimator)
+# ----------------------------------------------------------------------
+def circle_inside_rect(center: Point, radius: float, r: Rect) -> bool:
+    """Whether the disk ``(center, radius)`` lies entirely inside ``r``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return (
+        center.x - radius >= r.x_min
+        and center.x + radius <= r.x_max
+        and center.y - radius >= r.y_min
+        and center.y + radius <= r.y_max
+    )
+
+
+def circle_inside_union(center: Point, radius: float, rects: Sequence[Rect]) -> bool:
+    """Whether the disk lies entirely inside the union of ``rects``.
+
+    The density-based algorithm terminates once its D_k circle is fully
+    contained within the bounds of the examined blocks.  Exact disk-in-
+    union containment is awkward; for axis-aligned partitions the disk
+    is inside the union iff every block *not* examined is farther than
+    ``radius`` — that complement test is what the estimator actually
+    uses.  This helper implements a sufficient (conservative) direct
+    test: the disk is inside the union if it is inside the bounding box
+    of the union and every boundary sample at 16 angles falls inside
+    some rectangle.  It exists for validation and tests rather than the
+    hot path.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if not rects:
+        return False
+    for i in range(16):
+        angle = 2.0 * math.pi * i / 16.0
+        sample = Point(center.x + radius * math.cos(angle), center.y + radius * math.sin(angle))
+        if not any(r.contains_point(sample) for r in rects):
+            return False
+    return any(r.contains_point(center) for r in rects)

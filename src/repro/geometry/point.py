@@ -1,0 +1,56 @@
+"""A two-dimensional point.
+
+The whole library works in the two-dimensional Euclidean plane, matching
+the paper's setting (geo-coordinates from OpenStreetMap).  ``Point`` is a
+tiny frozen dataclass; bulk point sets are plain ``(n, 2)`` numpy arrays
+and only individual query focal points are wrapped in this class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the two-dimensional Euclidean plane.
+
+    Attributes:
+        x: Horizontal coordinate.
+        y: Vertical coordinate.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"point coordinates must be finite, got ({self.x}, {self.y})")
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Return the squared Euclidean distance to ``other``.
+
+        Useful when only comparisons are needed and the square root can
+        be avoided.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return the point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y

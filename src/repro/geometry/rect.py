@@ -1,0 +1,185 @@
+"""An axis-aligned rectangle (the spatial extent of an index block).
+
+Index blocks in the paper — quadtree quadrants, R-tree MBRs, virtual
+grid cells — are all axis-aligned rectangles.  ``Rect`` provides the
+geometric predicates the estimation techniques need: containment,
+overlap, corners/center extraction, quadrant subdivision, and the
+diagonal length used by the Staircase interpolation (Equation 1) and the
+Virtual-Grid scaling rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed — a
+    point is representable as a rectangle — but inverted bounds are not.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                "inverted rectangle bounds: "
+                f"[{self.x_min}, {self.x_max}] x [{self.y_min}, {self.y_max}]"
+            )
+        for value in (self.x_min, self.y_min, self.x_max, self.y_max):
+            if not math.isfinite(value):
+                raise ValueError("rectangle bounds must be finite")
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Build a rectangle from its center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+    @classmethod
+    def bounding(cls, xs, ys) -> "Rect":
+        """Build the tight bounding rectangle of coordinate arrays."""
+        if len(xs) == 0:
+            raise ValueError("cannot bound an empty point set")
+        return cls(float(min(xs)), float(min(ys)), float(max(xs)), float(max(ys)))
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Horizontal side length."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Vertical side length."""
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """Rectangle area (zero for degenerate rectangles)."""
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle diagonal.
+
+        This is the ``Diagonal`` term of the paper's Equation 1 and the
+        scaling denominator of the Virtual-Grid technique.
+        """
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """The center point of the rectangle."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Return the four corner points (SW, SE, NW, NE order)."""
+        return (
+            Point(self.x_min, self.y_min),
+            Point(self.x_max, self.y_min),
+            Point(self.x_min, self.y_max),
+            Point(self.x_max, self.y_max),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Whether ``p`` lies inside (or on the boundary of) the rectangle."""
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` is fully inside this rectangle."""
+        return (
+            self.x_min <= other.x_min
+            and self.y_min <= other.y_min
+            and other.x_max <= self.x_max
+            and other.y_max <= self.y_max
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x_min, other.x_min),
+            max(self.y_min, other.y_min),
+            min(self.x_max, other.x_max),
+            min(self.y_max, other.y_max),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle covering both rectangles."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    # ------------------------------------------------------------------
+    # Subdivision
+    # ------------------------------------------------------------------
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants (SW, SE, NW, NE order).
+
+        This is the region-quadtree decomposition step: each node's
+        region is recursively divided into four equal subquadrants.
+        """
+        cx = (self.x_min + self.x_max) / 2.0
+        cy = (self.y_min + self.y_max) / 2.0
+        return (
+            Rect(self.x_min, self.y_min, cx, cy),
+            Rect(cx, self.y_min, self.x_max, cy),
+            Rect(self.x_min, cy, cx, self.y_max),
+            Rect(cx, cy, self.x_max, self.y_max),
+        )
+
+    def grid_cells(self, nx: int, ny: int) -> Iterator["Rect"]:
+        """Yield the cells of an ``nx x ny`` uniform grid over this rectangle.
+
+        Cells are yielded row-major, bottom row first.  Used by the
+        Virtual-Grid technique, which lays a fixed grid over the whole
+        indexed space.
+        """
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        dx = self.width / nx
+        dy = self.height / ny
+        for j in range(ny):
+            for i in range(nx):
+                yield Rect(
+                    self.x_min + i * dx,
+                    self.y_min + j * dy,
+                    self.x_min + (i + 1) * dx,
+                    self.y_min + (j + 1) * dy,
+                )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(x_min, y_min, x_max, y_max)``."""
+        return (self.x_min, self.y_min, self.x_max, self.y_max)

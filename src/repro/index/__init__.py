@@ -1,0 +1,40 @@
+"""Spatial index substrate.
+
+The paper assumes the data points are organized in a hierarchical
+spatial index; its testbed uses a region quadtree, and the techniques
+are stated to apply to R-trees and other variants as well.  This
+subpackage implements:
+
+* :class:`~repro.index.quadtree.Quadtree` — a point-region quadtree
+  (space-partitioning), the paper's data index.
+* :class:`~repro.index.rtree.RTree` — an STR bulk-loaded R-tree
+  (data-partitioning), exercising the "auxiliary index differs from the
+  data index" path of Section 3.3.
+* :class:`~repro.index.grid.GridIndex` — a uniform grid, the substrate
+  of the Virtual-Grid join estimator.
+* :class:`~repro.index.count_index.CountIndex` — the auxiliary index
+  that stores only per-block counts (no data points) and powers every
+  cost estimator.
+"""
+
+from repro.index.base import Block, IndexNode, SpatialIndex
+from repro.index.quadtree import Quadtree, QuadtreeNode
+from repro.index.rtree import RTree, RTreeNode
+from repro.index.grid import GridIndex
+from repro.index.count_index import CountIndex
+from repro.index.hierarchical_count import HierarchicalCountIndex
+from repro.index.mutable_quadtree import MutableQuadtree
+
+__all__ = [
+    "Block",
+    "IndexNode",
+    "SpatialIndex",
+    "Quadtree",
+    "QuadtreeNode",
+    "RTree",
+    "RTreeNode",
+    "GridIndex",
+    "CountIndex",
+    "HierarchicalCountIndex",
+    "MutableQuadtree",
+]

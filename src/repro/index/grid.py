@@ -1,0 +1,178 @@
+"""A uniform grid index.
+
+Two roles in the reproduction:
+
+* As a plain space-partitioning spatial index (Section 3.3 notes the
+  auxiliary index can be "a quadtree or grid").
+* As the *virtual grid* of the Virtual-Grid join estimator (Section
+  4.3): a fixed ``g x g`` decomposition of the whole space whose cells
+  anchor precomputed locality catalogs.  For that role the grid does
+  not need to hold points at all — see :meth:`GridIndex.virtual`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import Point, Rect
+from repro.index.base import Block, IndexNode, SpatialIndex, validate_points
+
+
+@dataclass(slots=True)
+class _GridNode(IndexNode):
+    """Flat two-level hierarchy: one root whose children are the cells."""
+
+    _rect: Rect
+    _children: list["_GridNode"]
+    _block: Block | None
+
+    @property
+    def rect(self) -> Rect:
+        return self._rect
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    @property
+    def children(self) -> Sequence["_GridNode"]:
+        return self._children
+
+    @property
+    def block(self) -> Block | None:
+        return self._block
+
+
+class GridIndex(SpatialIndex):
+    """A uniform ``nx x ny`` grid over a rectangle.
+
+    Args:
+        points: ``(n, 2)`` array-like of point coordinates (may be empty
+            for a virtual grid).
+        bounds: Region covered by the grid.  Required when ``points`` is
+            empty; defaults to the tight bounding box otherwise.
+        nx: Number of columns.
+        ny: Number of rows (defaults to ``nx`` for a square grid).
+    """
+
+    def __init__(self, points, bounds: Rect | None = None, nx: int = 16, ny: int | None = None) -> None:
+        if nx < 1:
+            raise ValueError(f"nx must be >= 1, got {nx}")
+        ny = nx if ny is None else ny
+        if ny < 1:
+            raise ValueError(f"ny must be >= 1, got {ny}")
+        pts = validate_points(points)
+        if bounds is None:
+            if pts.shape[0] == 0:
+                raise ValueError("bounds are required for an empty grid")
+            pad_x = max((pts[:, 0].max() - pts[:, 0].min()) * 1e-9, 1e-12)
+            pad_y = max((pts[:, 1].max() - pts[:, 1].min()) * 1e-9, 1e-12)
+            bounds = Rect(
+                float(pts[:, 0].min()) - pad_x,
+                float(pts[:, 1].min()) - pad_y,
+                float(pts[:, 0].max()) + pad_x,
+                float(pts[:, 1].max()) + pad_y,
+            )
+        self._bounds = bounds
+        self._nx = nx
+        self._ny = ny
+        self._cells = list(bounds.grid_cells(nx, ny))
+        self._blocks: list[Block] = []
+        self._cell_block: list[Block | None] = [None] * (nx * ny)
+        if pts.shape[0]:
+            if not np.all(
+                (pts[:, 0] >= bounds.x_min)
+                & (pts[:, 0] <= bounds.x_max)
+                & (pts[:, 1] >= bounds.y_min)
+                & (pts[:, 1] <= bounds.y_max)
+            ):
+                raise ValueError("some points fall outside the grid bounds")
+            cell_ids = self._cell_ids(pts)
+            order = np.argsort(cell_ids, kind="stable")
+            sorted_ids = cell_ids[order]
+            sorted_pts = pts[order]
+            boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+            for segment_ids, segment in zip(
+                np.split(sorted_ids, boundaries), np.split(sorted_pts, boundaries)
+            ):
+                cell = int(segment_ids[0])
+                block = Block(
+                    block_id=len(self._blocks),
+                    rect=self._cells[cell],
+                    points=np.ascontiguousarray(segment),
+                )
+                self._blocks.append(block)
+                self._cell_block[cell] = block
+        children = [
+            _GridNode(cell, [], self._cell_block[i]) for i, cell in enumerate(self._cells)
+        ]
+        self._root = _GridNode(bounds, children, None)
+
+    @classmethod
+    def virtual(cls, bounds: Rect, nx: int, ny: int | None = None) -> "GridIndex":
+        """Build an empty *virtual* grid over ``bounds``.
+
+        The Virtual-Grid technique only needs the cell geometry; no
+        points are stored.
+        """
+        return cls(np.empty((0, 2)), bounds=bounds, nx=nx, ny=ny)
+
+    # ------------------------------------------------------------------
+    # Cell addressing
+    # ------------------------------------------------------------------
+    def _cell_ids(self, pts: np.ndarray) -> np.ndarray:
+        """Map points to row-major cell identifiers."""
+        ix = np.floor(
+            (pts[:, 0] - self._bounds.x_min) / self._bounds.width * self._nx
+        ).astype(np.int64)
+        iy = np.floor(
+            (pts[:, 1] - self._bounds.y_min) / self._bounds.height * self._ny
+        ).astype(np.int64)
+        np.clip(ix, 0, self._nx - 1, out=ix)
+        np.clip(iy, 0, self._ny - 1, out=iy)
+        return iy * self._nx + ix
+
+    def cell_for(self, p: Point) -> Rect:
+        """Return the grid cell containing ``p``.
+
+        Raises:
+            ValueError: If ``p`` is outside the grid bounds.
+        """
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"point {p} is outside the grid bounds")
+        ix = min(int((p.x - self._bounds.x_min) / self._bounds.width * self._nx), self._nx - 1)
+        iy = min(int((p.y - self._bounds.y_min) / self._bounds.height * self._ny), self._ny - 1)
+        return self._cells[iy * self._nx + ix]
+
+    @property
+    def cells(self) -> Sequence[Rect]:
+        """All grid cells in row-major order."""
+        return self._cells
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nx, ny)`` grid dimensions."""
+        return (self._nx, self._ny)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex interface
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self._bounds
+
+    @property
+    def root(self) -> _GridNode:
+        return self._root
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        return self._blocks
+
+    @property
+    def capacity(self) -> int:
+        # A grid has no capacity bound; report the max occupancy instead.
+        return max((b.count for b in self._blocks), default=0)

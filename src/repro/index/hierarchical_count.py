@@ -1,0 +1,157 @@
+"""A hierarchical Count-Index with incremental MINDIST scanning.
+
+The flat :class:`~repro.index.count_index.CountIndex` answers a MINDIST
+ordering with one vectorized sort over all blocks — simple and, in
+numpy, fast.  The paper's testbed instead keeps the counts in the index
+*hierarchy* and scans blocks through a priority queue, visiting only as
+much of the tree as the scan consumes.  This module provides that
+faithful alternative:
+
+* :class:`HierarchicalCountIndex` mirrors the node structure of a
+  hierarchical index, storing per-node subtree counts and no points.
+* :meth:`HierarchicalCountIndex.mindist_scan` lazily yields
+  ``(block_idx, mindist)`` pairs in MINDIST order from a point or
+  rectangle, expanding internal nodes on demand.
+
+Early-terminating consumers (the density-based estimator's expansion
+loop, locality computation for small k) touch O(answer) nodes instead
+of O(n) — the ablation benchmark quantifies the crossover against the
+flat index.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.geometry import (
+    Point,
+    Rect,
+    mindist_point_rect,
+    mindist_rect_rect,
+)
+from repro.index.base import IndexNode, SpatialIndex
+
+
+class _CountNode:
+    """One node of the count hierarchy (no data points)."""
+
+    __slots__ = ("rect", "count", "children", "block_idx")
+
+    def __init__(self, rect: Rect, count: int, children: list["_CountNode"],
+                 block_idx: int | None) -> None:
+        self.rect = rect
+        self.count = count
+        self.children = children
+        self.block_idx = block_idx
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class HierarchicalCountIndex:
+    """Subtree counts mirroring a hierarchical spatial index.
+
+    Args:
+        index: The data index whose structure (not points) is mirrored.
+    """
+
+    def __init__(self, index: SpatialIndex) -> None:
+        self._root = self._mirror(index.root)
+        self._n_blocks = index.num_blocks
+
+    def _mirror(self, node: IndexNode) -> _CountNode:
+        """Recursively copy structure, keeping only counts."""
+        if node.is_leaf:
+            block = node.block
+            if block is None:
+                return _CountNode(node.rect, 0, [], None)
+            return _CountNode(node.rect, block.count, [], block.block_id)
+        children = [self._mirror(child) for child in node.children]
+        total = sum(child.count for child in children)
+        return _CountNode(node.rect, total, children, None)
+
+    @property
+    def total_count(self) -> int:
+        """Total number of points accounted for."""
+        return self._root.count
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of non-empty leaf blocks mirrored."""
+        return self._n_blocks
+
+    def n_nodes(self) -> int:
+        """Total node count of the mirror (storage accounting)."""
+
+        def count(node: _CountNode) -> int:
+            return 1 + sum(count(child) for child in node.children)
+
+        return count(self._root)
+
+    # ------------------------------------------------------------------
+    # Lazy MINDIST scans
+    # ------------------------------------------------------------------
+    def mindist_scan(self, origin: Point | Rect) -> Iterator[tuple[int, int, float]]:
+        """Yield non-empty blocks in MINDIST order from ``origin``.
+
+        Internal nodes are expanded lazily: consuming only the first few
+        results touches only the corresponding part of the hierarchy.
+
+        Yields:
+            ``(block_idx, count, mindist)`` tuples, ``block_idx`` being
+            the flat Count-Index block id.
+        """
+        if isinstance(origin, Point):
+            def dist(rect: Rect) -> float:
+                return mindist_point_rect(origin, rect)
+        else:
+            def dist(rect: Rect) -> float:
+                return mindist_rect_rect(origin, rect)
+
+        counter = itertools.count()  # heap tie-breaker
+        heap: list[tuple[float, int, _CountNode]] = []
+        if self._root.count > 0:
+            heapq.heappush(heap, (dist(self._root.rect), next(counter), self._root))
+        while heap:
+            mindist, __, node = heapq.heappop(heap)
+            if node.is_leaf:
+                if node.block_idx is not None:
+                    yield (node.block_idx, node.count, mindist)
+                continue
+            for child in node.children:
+                if child.count > 0:
+                    heapq.heappush(heap, (dist(child.rect), next(counter), child))
+
+    def expand_until(self, origin: Point | Rect, k: int) -> tuple[list[int], float]:
+        """Scan blocks in MINDIST order until ``k`` points are covered.
+
+        The primitive both the density-based estimator and locality
+        computation are built on.
+
+        Returns:
+            ``(block_indices, last_mindist)`` — the MINDIST-prefix whose
+            cumulative count first reaches ``k`` (all blocks when the
+            index holds fewer points) and the MINDIST of its last block.
+
+        Raises:
+            ValueError: If ``k < 1``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        covered = 0
+        blocks: list[int] = []
+        last_mindist = 0.0
+        for block_idx, count, mindist in self.mindist_scan(origin):
+            blocks.append(block_idx)
+            covered += count
+            last_mindist = mindist
+            if covered >= k:
+                break
+        return blocks, last_mindist
+
+    def storage_bytes(self) -> int:
+        """Bytes to persist the mirror: per node 4 float bounds + count."""
+        return self.n_nodes() * (4 * 8 + 8)

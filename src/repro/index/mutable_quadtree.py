@@ -1,0 +1,268 @@
+"""A mutable PR quadtree with update tracking.
+
+The paper's catalogs are built once over a static index; a deployed
+system must also survive inserts and deletes.  ``MutableQuadtree``
+supports point insertion and deletion with the standard PR-quadtree
+split/merge rules and records which leaf *regions* changed — the hook
+:class:`~repro.estimators.maintenance.MaintainedStaircaseEstimator`
+uses to refresh exactly the affected catalogs.
+
+Blocks are materialized lazily: the mutable tree keeps per-leaf Python
+lists for O(1) appends and converts to the immutable
+:class:`~repro.index.base.Block` view (contiguous ids, numpy arrays)
+only when :attr:`blocks` is read, invalidating the cache on mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import Point, Rect
+from repro.index.base import Block, IndexNode, SpatialIndex, validate_points
+from repro.index.quadtree import DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH, _resolve_bounds
+
+
+class _MutNode(IndexNode):
+    """One mutable quadtree node."""
+
+    __slots__ = ("_rect", "_children", "points_list", "depth", "_block")
+
+    def __init__(self, rect: Rect, depth: int) -> None:
+        self._rect = rect
+        self._children: list["_MutNode"] = []
+        self.points_list: list[tuple[float, float]] = []
+        self.depth = depth
+        self._block: Block | None = None  # assigned at materialization
+
+    @property
+    def rect(self) -> Rect:
+        return self._rect
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    @property
+    def children(self) -> Sequence["_MutNode"]:
+        return self._children
+
+    @property
+    def block(self) -> Block | None:
+        return self._block
+
+    def subtree_count(self) -> int:
+        if self.is_leaf:
+            return len(self.points_list)
+        return sum(child.subtree_count() for child in self._children)
+
+
+class MutableQuadtree(SpatialIndex):
+    """A PR quadtree supporting inserts and deletes.
+
+    Args:
+        points: Initial ``(n, 2)`` points (may be empty).
+        bounds: The fixed universe; inserts outside it are rejected.
+            Defaults to a padded square box of the initial points.
+        capacity: Leaf split threshold.
+        max_depth: Depth cap against unsplittable duplicates.
+    """
+
+    def __init__(
+        self,
+        points=(),
+        bounds: Rect | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        pts = validate_points(np.asarray(points, dtype=float).reshape(-1, 2))
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._bounds = _resolve_bounds(pts, bounds)
+        self._root = _MutNode(self._bounds, 0)
+        self._n_points = 0
+        self._blocks_cache: list[Block] | None = None
+        self._dirty_regions: list[Rect] = []
+        self._mutations_since_clear = 0
+        for x, y in pts:
+            self.insert(float(x), float(y))
+        # The bulk load is construction, not "updates" to track.
+        self.clear_dirty()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> Rect:
+        """Insert a point; returns the affected leaf region.
+
+        Raises:
+            ValueError: If the point lies outside the universe.
+        """
+        p = Point(x, y)
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"point {p} is outside the index bounds {self._bounds}")
+        leaf = self._descend(p)
+        leaf.points_list.append((x, y))
+        self._n_points += 1
+        affected = leaf.rect
+        if len(leaf.points_list) > self._capacity and leaf.depth < self._max_depth:
+            self._split(leaf)
+        self._note_change(affected)
+        return affected
+
+    def delete(self, x: float, y: float) -> bool:
+        """Delete one occurrence of the point; returns whether it existed."""
+        p = Point(x, y)
+        if not self._bounds.contains_point(p):
+            return False
+        path: list[_MutNode] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node)
+            node = self._child_for(node, p)
+        try:
+            node.points_list.remove((x, y))
+        except ValueError:
+            return False
+        self._n_points -= 1
+        self._note_change(node.rect)
+        # Merge underfull subtrees bottom-up.
+        for parent in reversed(path):
+            if all(child.is_leaf for child in parent.children) and (
+                parent.subtree_count() <= self._capacity // 2
+            ):
+                merged: list[tuple[float, float]] = []
+                for child in parent.children:
+                    merged.extend(child.points_list)
+                parent._children = []
+                parent.points_list = merged
+                self._note_change(parent.rect)
+            else:
+                break
+        return True
+
+    def _descend(self, p: Point) -> _MutNode:
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, p)
+        return node
+
+    @staticmethod
+    def _child_for(node: _MutNode, p: Point) -> _MutNode:
+        cx = (node.rect.x_min + node.rect.x_max) / 2.0
+        cy = (node.rect.y_min + node.rect.y_max) / 2.0
+        return node.children[(0 if p.x < cx else 1) + (0 if p.y < cy else 2)]
+
+    def _split(self, leaf: _MutNode) -> None:
+        children = [_MutNode(q, leaf.depth + 1) for q in leaf.rect.quadrants()]
+        cx = (leaf.rect.x_min + leaf.rect.x_max) / 2.0
+        cy = (leaf.rect.y_min + leaf.rect.y_max) / 2.0
+        for x, y in leaf.points_list:
+            idx = (0 if x < cx else 1) + (0 if y < cy else 2)
+            children[idx].points_list.append((x, y))
+        leaf.points_list = []
+        leaf._children = children
+        # Recurse if a quadrant is still overfull (duplicate pile-ups).
+        for child in children:
+            if len(child.points_list) > self._capacity and child.depth < self._max_depth:
+                self._split(child)
+
+    def _note_change(self, region: Rect) -> None:
+        self._blocks_cache = None
+        self._dirty_regions.append(region)
+        self._mutations_since_clear += 1
+
+    # ------------------------------------------------------------------
+    # Update tracking
+    # ------------------------------------------------------------------
+    @property
+    def dirty_regions(self) -> tuple[Rect, ...]:
+        """Leaf regions touched since the last :meth:`clear_dirty`."""
+        return tuple(self._dirty_regions)
+
+    @property
+    def mutations_since_clear(self) -> int:
+        """Number of tracked mutations since the last clear."""
+        return self._mutations_since_clear
+
+    def clear_dirty(self) -> None:
+        """Forget tracked changes (after statistics refresh)."""
+        self._dirty_regions = []
+        self._mutations_since_clear = 0
+
+    # ------------------------------------------------------------------
+    # SpatialIndex interface
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        return self._bounds
+
+    @property
+    def root(self) -> _MutNode:
+        # Sync the per-leaf Block views before handing the hierarchy to
+        # traversals (they read node.block on leaves).
+        __ = self.blocks
+        return self._root
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def num_points(self) -> int:
+        return self._n_points
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        if self._blocks_cache is None:
+            self._blocks_cache = []
+            self._materialize(self._root)
+        return self._blocks_cache
+
+    def _materialize(self, node: _MutNode) -> None:
+        if node.is_leaf:
+            if node.points_list:
+                block = Block(
+                    block_id=len(self._blocks_cache),
+                    rect=node.rect,
+                    points=np.array(node.points_list, dtype=float).reshape(-1, 2),
+                )
+                self._blocks_cache.append(block)
+                node._block = block
+            else:
+                node._block = None
+            return
+        node._block = None
+        for child in node.children:
+            self._materialize(child)
+
+    def leaf_for(self, p: Point) -> _MutNode:
+        """The leaf whose region contains ``p`` (space partitioning).
+
+        Raises:
+            ValueError: If ``p`` is outside the universe.
+        """
+        if not self._bounds.contains_point(p):
+            raise ValueError(f"query point {p} is outside the index bounds")
+        # Materialize so leaf.block is in sync for callers that read it.
+        __ = self.blocks
+        return self._descend(p)
+
+    @property
+    def leaves(self) -> list[_MutNode]:
+        """All current leaf nodes (including empty ones)."""
+        __ = self.blocks  # sync leaf.block assignments
+        out: list[_MutNode] = []
+
+        def collect(node: _MutNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+                return
+            for child in node.children:
+                collect(child)
+
+        collect(self._root)
+        return out

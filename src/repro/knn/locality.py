@@ -1,0 +1,119 @@
+"""Locality computation for locality-based k-NN-Join processing.
+
+Section 4 (after Sankaranarayanan et al.): the *locality* of an outer
+block ``b_o`` is the minimal MINDIST-prefix of inner blocks guaranteed
+to contain the k nearest neighbors of *every* point in ``b_o``.  It is
+computed by scanning inner blocks in MINDIST order from ``b_o``,
+accumulating their counts until the sum reaches ``k``, marking the
+highest MAXDIST ``M`` among the accumulated blocks, and continuing the
+scan until a block with MINDIST greater than ``M`` appears.  Every
+encountered block (MINDIST <= M) belongs to the locality.
+
+The join cost the paper estimates is the total number of blocks scanned:
+the sum of locality sizes over all outer blocks.
+
+:func:`locality_size_profile` computes the locality-size-vs-k staircase
+in one pass — the semantics of the paper's Procedure 2 (see DESIGN.md §5
+for the pseudocode discrepancy we resolve in favour of the worked
+example): with inner blocks ``b_1..b_n`` in MINDIST order, cumulative
+counts ``S_i`` and running maxima ``M_i = max(MAXDIST(b_1..b_i))``, the
+locality size for every ``k`` in ``[S_{i-1}+1, S_i]`` is
+``#{b : MINDIST(b) <= M_i}``; consecutive equal-cost ranges are merged
+(the paper's redundant-entry elimination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.index.count_index import CountIndex
+
+
+def locality_block_indices(inner: CountIndex, outer_rect: Rect, k: int) -> np.ndarray:
+    """Return the inner-block indices forming the locality of ``outer_rect``.
+
+    Args:
+        inner: Count-Index over the inner relation's blocks.
+        outer_rect: Extent of the outer block.
+        k: The join's k.
+
+    Returns:
+        Block indices in MINDIST order.  When the inner relation holds
+        fewer than ``k`` points, every inner block is in the locality.
+
+    Raises:
+        ValueError: If ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if inner.n_blocks == 0:
+        return np.empty(0, dtype=np.int64)
+    order, mindists = inner.mindist_order_from_rect(outer_rect)
+    counts = inner.counts[order]
+    cumulative = np.cumsum(counts)
+    first_enough = int(np.searchsorted(cumulative, k, side="left"))
+    if first_enough >= order.shape[0]:
+        return order  # fewer than k inner points: everything qualifies
+    maxdists = inner.maxdist_from_rect(outer_rect)[order]
+    marked = float(maxdists[: first_enough + 1].max())
+    # Scanning continues until a block of MINDIST > marked appears, so
+    # the locality is the prefix with MINDIST <= marked.
+    size = int(np.searchsorted(mindists, marked, side="right"))
+    return order[:size]
+
+
+def locality_size(inner: CountIndex, outer_rect: Rect, k: int) -> int:
+    """Number of inner blocks in the locality of ``outer_rect`` for ``k``."""
+    return int(locality_block_indices(inner, outer_rect, k).shape[0])
+
+
+def locality_size_profile(
+    inner: CountIndex, outer_rect: Rect, max_k: int
+) -> list[tuple[int, int, int]]:
+    """Locality-size-vs-k staircase for one outer block (Procedure 2).
+
+    Args:
+        inner: Count-Index over the inner relation's blocks.
+        outer_rect: Extent of the outer block.
+        max_k: Largest k the profile must cover.
+
+    Returns:
+        Contiguous ``(k_start, k_end, locality_size)`` entries covering
+        ``[1, min(max_k, total inner points)]``, with consecutive
+        equal-size entries merged.
+
+    Raises:
+        ValueError: If ``max_k < 1``.
+    """
+    if max_k < 1:
+        raise ValueError(f"max_k must be >= 1, got {max_k}")
+    if inner.n_blocks == 0:
+        return []
+    order, mindists = inner.mindist_order_from_rect(outer_rect)
+    counts = inner.counts[order]
+    maxdists = inner.maxdist_from_rect(outer_rect)[order]
+    cumulative = np.cumsum(counts)
+    running_max = np.maximum.accumulate(maxdists)
+    # For the prefix ending at block i, the locality size is the number
+    # of blocks with MINDIST <= running_max[i]; mindists is sorted so a
+    # single vectorized searchsorted covers all prefixes at once.
+    sizes = np.searchsorted(mindists, running_max, side="right")
+
+    profile: list[tuple[int, int, int]] = []
+    k_reached = 0
+    for i in range(order.shape[0]):
+        k_end = int(cumulative[i])
+        if k_end <= k_reached:
+            continue  # can't happen with positive counts; guard anyway
+        size = int(sizes[i])
+        if profile and profile[-1][2] == size:
+            # Redundant-entry elimination: extend the previous range.
+            k_start, __, __ = profile[-1]
+            profile[-1] = (k_start, k_end, size)
+        else:
+            profile.append((k_reached + 1, k_end, size))
+        k_reached = k_end
+        if k_reached >= max_k:
+            break
+    return profile

@@ -1,0 +1,35 @@
+"""A miniature cost-based query optimizer.
+
+Section 1 motivates k-NN cost estimation with query-execution-plan
+(QEP) choice: a query combining a k-NN-Select with a relational
+predicate can be run *filter-first* (apply the relational select, then
+k-NN over the qualifying tuples) or *incrementally* (distance browsing
+with the predicate evaluated on the fly, stopping at k qualifying
+results) — and the cheaper plan depends on the estimated k-NN cost.
+This subpackage implements both plans, executes them for ground truth,
+and chooses between them using the paper's estimators; it also covers
+the batch scenario (many k-NN-Selects versus one k-NN-Join, Section 1's
+shared-execution motivation).
+"""
+
+from repro.optimizer.plans import (
+    FilterThenKnnPlan,
+    IncrementalKnnPlan,
+    PlanResult,
+)
+from repro.optimizer.chooser import (
+    PlanChoice,
+    choose_select_plan,
+    choose_batch_plan,
+    BatchPlanChoice,
+)
+
+__all__ = [
+    "FilterThenKnnPlan",
+    "IncrementalKnnPlan",
+    "PlanResult",
+    "PlanChoice",
+    "choose_select_plan",
+    "choose_batch_plan",
+    "BatchPlanChoice",
+]

@@ -1,0 +1,120 @@
+"""Cost-based plan choice using the paper's estimators.
+
+Two arbitration scenarios from Section 1:
+
+* :func:`choose_select_plan` — filter-first versus incremental distance
+  browsing for a predicate-constrained k-NN-Select.
+* :func:`choose_batch_plan` — many independent k-NN-Selects versus one
+  shared k-NN-Join treating the query points as an outer relation
+  ("to share the execution ... all the query points are treated as an
+  outer relation and processing is performed in a single k-NN-Join").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
+from repro.geometry import Point
+from repro.index.base import SpatialIndex
+from repro.optimizer.plans import (
+    FilterThenKnnPlan,
+    IncrementalKnnPlan,
+    Predicate,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PlanChoice:
+    """Result of arbitrating between two select QEPs."""
+
+    chosen: str
+    filter_then_knn_cost: float
+    incremental_cost: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Estimated cost ratio of the rejected plan over the chosen one."""
+        worst = max(self.filter_then_knn_cost, self.incremental_cost)
+        best = min(self.filter_then_knn_cost, self.incremental_cost)
+        return worst / best if best > 0 else float("inf")
+
+
+def choose_select_plan(
+    index: SpatialIndex,
+    select_estimator: SelectCostEstimator,
+    query: Point,
+    k: int,
+    predicate: Predicate,
+    selectivity: float,
+) -> tuple[PlanChoice, FilterThenKnnPlan, IncrementalKnnPlan]:
+    """Pick the cheaper QEP for a predicate-constrained k-NN-Select.
+
+    Args:
+        index: The data index.
+        select_estimator: Estimator used for the incremental plan's cost.
+        query: The query focal point.
+        k: Qualifying neighbors requested.
+        predicate: Per-tuple relational predicate.
+        selectivity: Estimated fraction of qualifying tuples.
+
+    Returns:
+        ``(choice, filter_plan, incremental_plan)`` — the chosen plan's
+        name plus both executable plans so the caller can run either.
+    """
+    filter_plan = FilterThenKnnPlan(index, predicate)
+    incremental_plan = IncrementalKnnPlan(index, predicate, selectivity)
+    cost_filter = filter_plan.estimated_cost(k)
+    cost_incremental = incremental_plan.estimated_cost(k, select_estimator, query)
+    chosen = (
+        filter_plan.name if cost_filter <= cost_incremental else incremental_plan.name
+    )
+    return (
+        PlanChoice(chosen, cost_filter, cost_incremental),
+        filter_plan,
+        incremental_plan,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BatchPlanChoice:
+    """Result of arbitrating many selects against one shared join."""
+
+    chosen: str
+    per_select_total_cost: float
+    join_cost: float
+
+
+def choose_batch_plan(
+    select_estimator: SelectCostEstimator,
+    join_estimator: JoinCostEstimator,
+    query_points: Sequence[Point] | np.ndarray,
+    k: int,
+) -> BatchPlanChoice:
+    """Pick between per-query k-NN-Selects and one shared k-NN-Join.
+
+    Args:
+        select_estimator: Select-cost estimator for the inner relation.
+        join_estimator: Join-cost estimator bound to (query-point index,
+            inner relation).
+        query_points: The batch of query focal points.
+        k: Neighbors per query point.
+
+    Returns:
+        The cheaper strategy with both estimated costs.
+
+    Raises:
+        ValueError: On an empty batch or invalid ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    points = list(query_points)
+    if not points:
+        raise ValueError("cannot plan an empty query batch")
+    per_select = sum(select_estimator.estimate(p, k) for p in points)
+    join_cost = join_estimator.estimate(k)
+    chosen = "per-query-selects" if per_select <= join_cost else "shared-knn-join"
+    return BatchPlanChoice(chosen, float(per_select), float(join_cost))

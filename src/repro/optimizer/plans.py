@@ -1,0 +1,142 @@
+"""Executable query-execution-plans for predicate-constrained k-NN-Select.
+
+The motivating query (Section 1): "find the k-closest restaurants to my
+location such that the price of the restaurant is within my budget".
+Relational attributes are modelled as a per-tuple predicate
+``predicate(x, y) -> bool`` with a known (or sampled) selectivity —
+anything evaluable per point, e.g. a price looked up from an attribute
+table keyed by location.
+
+Two QEPs:
+
+* :class:`FilterThenKnnPlan` — scan the whole relation, keep the
+  qualifying tuples, then answer the k-NN over them.  Its block cost is
+  the full block count of the relation, independent of ``k``.
+* :class:`IncrementalKnnPlan` — distance browsing with the predicate
+  evaluated on the fly; execution stops when k qualifying tuples have
+  been retrieved.  Its block cost is the distance-browsing cost at an
+  *effective* ``k' ~ k / selectivity`` (one in ``selectivity`` browsed
+  tuples qualifies), which is what the select estimators predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.index.base import SpatialIndex
+from repro.knn.distance_browsing import DistanceBrowser
+
+Predicate = Callable[[float, float], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class PlanResult:
+    """Outcome of executing a plan: the answer and its actual cost."""
+
+    neighbors: np.ndarray  # (m, 2) qualifying neighbors in distance order
+    blocks_scanned: int
+
+    @property
+    def found(self) -> int:
+        """Number of qualifying neighbors returned."""
+        return int(self.neighbors.shape[0])
+
+
+class FilterThenKnnPlan:
+    """QEP (i): relational select first, then k-NN over the survivors.
+
+    Args:
+        index: The data index.
+        predicate: Per-tuple relational predicate.
+    """
+
+    name = "filter-then-knn"
+
+    def __init__(self, index: SpatialIndex, predicate: Predicate) -> None:
+        self._index = index
+        self._predicate = predicate
+
+    def estimated_cost(self, k: int) -> float:
+        """The filter step scans every block regardless of ``k``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return float(self._index.num_blocks)
+
+    def execute(self, query: Point, k: int) -> PlanResult:
+        """Scan all blocks, filter, and answer the k-NN exactly."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        qualifying = []
+        scanned = 0
+        for block in self._index.blocks:
+            scanned += 1
+            for x, y in block.points:
+                if self._predicate(float(x), float(y)):
+                    qualifying.append((float(x), float(y)))
+        if not qualifying:
+            return PlanResult(np.empty((0, 2)), scanned)
+        pts = np.array(qualifying)
+        dists = np.hypot(pts[:, 0] - query.x, pts[:, 1] - query.y)
+        order = np.argsort(dists, kind="stable")[:k]
+        return PlanResult(pts[order], scanned)
+
+
+class IncrementalKnnPlan:
+    """QEP (ii): distance browsing with the predicate applied on the fly.
+
+    Args:
+        index: The data index.
+        predicate: Per-tuple relational predicate.
+        selectivity: Fraction of tuples satisfying the predicate, used
+            for cost estimation (``k' = ceil(k / selectivity)``).
+
+    Raises:
+        ValueError: If ``selectivity`` is outside ``(0, 1]``.
+    """
+
+    name = "incremental-knn"
+
+    def __init__(
+        self, index: SpatialIndex, predicate: Predicate, selectivity: float
+    ) -> None:
+        if not 0.0 < selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        self._index = index
+        self._predicate = predicate
+        self._selectivity = selectivity
+
+    def effective_k(self, k: int) -> int:
+        """Expected number of browsed tuples until k qualify."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return int(np.ceil(k / self._selectivity))
+
+    def estimated_cost(self, k: int, select_estimator, query: Point) -> float:
+        """Predict the browsing cost via a k-NN-Select cost estimator.
+
+        Args:
+            k: Qualifying neighbors requested.
+            select_estimator: Any
+                :class:`~repro.estimators.base.SelectCostEstimator`.
+            query: The query focal point.
+        """
+        return float(select_estimator.estimate(query, self.effective_k(k)))
+
+    def execute(self, query: Point, k: int) -> PlanResult:
+        """Browse neighbors incrementally until k qualify."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        browser = DistanceBrowser(self._index, query)
+        qualifying: list[tuple[float, float]] = []
+        for __, x, y in browser:
+            if self._predicate(x, y):
+                qualifying.append((x, y))
+                if len(qualifying) == k:
+                    break
+        return PlanResult(
+            np.array(qualifying, dtype=float).reshape(-1, 2), browser.blocks_scanned
+        )

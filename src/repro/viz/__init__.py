@@ -1,0 +1,22 @@
+"""Terminal visualization helpers.
+
+The paper's testbed includes a visualizer that renders the GPS points
+and the quadtree decomposition on top (Figure 10).  This subpackage is
+the dependency-free terminal equivalent: density heatmaps of point
+sets, block-boundary overlays, staircase plots of catalogs, and simple
+series plots for experiment results.
+"""
+
+from repro.viz.ascii import (
+    render_density,
+    render_blocks,
+    render_staircase,
+    render_series,
+)
+
+__all__ = [
+    "render_density",
+    "render_blocks",
+    "render_staircase",
+    "render_series",
+]

@@ -1,0 +1,181 @@
+"""ASCII rendering of spatial data, index decompositions, and curves.
+
+All renderers return plain strings (newline-joined rows) so they
+compose with logging, docs, and test assertions; nothing writes to the
+terminal directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.catalog.intervals import IntervalCatalog
+from repro.index.base import SpatialIndex
+
+#: Density ramp from empty to saturated.
+_RAMP = " .:-=+*#%@"
+
+
+def render_density(
+    points: np.ndarray,
+    bounds: Rect | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a point set as a log-scaled density heatmap.
+
+    Args:
+        points: ``(n, 2)`` point array.
+        bounds: Region to render (defaults to the tight bounding box).
+        width: Character columns.
+        height: Character rows.
+
+    Raises:
+        ValueError: On empty input without explicit bounds, or
+            non-positive dimensions.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    if bounds is None:
+        if pts.shape[0] == 0:
+            raise ValueError("bounds are required for an empty point set")
+        bounds = Rect(
+            float(pts[:, 0].min()),
+            float(pts[:, 1].min()),
+            float(pts[:, 0].max()),
+            float(pts[:, 1].max()),
+        )
+    histogram, __, __ = np.histogram2d(
+        pts[:, 0],
+        pts[:, 1],
+        bins=[width, height],
+        range=[[bounds.x_min, bounds.x_max], [bounds.y_min, bounds.y_max]],
+    )
+    # Log scale: GPS-like data spans orders of magnitude per cell.
+    scaled = np.log1p(histogram)
+    top = scaled.max()
+    if top > 0:
+        scaled /= top
+    rows = []
+    for j in reversed(range(height)):  # top row = largest y
+        row = "".join(
+            _RAMP[min(int(scaled[i, j] * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+            for i in range(width)
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def render_blocks(
+    index: SpatialIndex,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render an index's block boundaries over its bounds.
+
+    Block edges are drawn with ``+ - |`` glyphs on a character grid —
+    the terminal version of Figure 10's quadtree overlay.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    bounds = index.bounds
+    grid = [[" "] * width for __ in range(height)]
+
+    def to_col(x: float) -> int:
+        fraction = (x - bounds.x_min) / max(bounds.width, 1e-12)
+        return min(int(fraction * (width - 1)), width - 1)
+
+    def to_row(y: float) -> int:
+        fraction = (y - bounds.y_min) / max(bounds.height, 1e-12)
+        return height - 1 - min(int(fraction * (height - 1)), height - 1)
+
+    for block in index.blocks:
+        r = block.rect
+        c0, c1 = sorted((to_col(r.x_min), to_col(r.x_max)))
+        r0, r1 = sorted((to_row(r.y_max), to_row(r.y_min)))
+        for c in range(c0, c1 + 1):
+            for row in (r0, r1):
+                grid[row][c] = "-" if grid[row][c] == " " else grid[row][c]
+        for row in range(r0, r1 + 1):
+            for c in (c0, c1):
+                grid[row][c] = "|" if grid[row][c] in (" ",) else grid[row][c]
+        for row, c in ((r0, c0), (r0, c1), (r1, c0), (r1, c1)):
+            grid[row][c] = "+"
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_staircase(
+    catalog: IntervalCatalog,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render a catalog's cost-vs-k staircase (Figure 4a / 7a style)."""
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    max_k = catalog.max_k
+    ks = np.unique(np.linspace(1, max_k, width).astype(np.int64))
+    costs = catalog.lookup_many(ks)
+    return render_series(
+        ks.astype(float),
+        costs,
+        width=width,
+        height=height,
+        x_label="k",
+        y_label="cost",
+    )
+
+
+def render_series(
+    xs: Sequence[float] | np.ndarray,
+    ys: Sequence[float] | np.ndarray,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render one (x, y) series as a scatter of ``*`` glyphs with axes.
+
+    Args:
+        xs: X values (any order; must be finite).
+        ys: Y values aligned with ``xs``.
+        width: Plot columns (excluding the axis gutter).
+        height: Plot rows.
+        x_label: Caption under the x axis.
+        y_label: Caption of the y axis.
+        log_y: Plot ``log10(y)`` (for the paper's log-scale figures).
+
+    Raises:
+        ValueError: On empty/misaligned series or bad dimensions.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    plot_y = np.log10(np.maximum(ys, 1e-300)) if log_y else ys
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(plot_y.min()), float(plot_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for x, y in zip(xs, plot_y):
+        col = min(int((x - x_lo) / x_span * (width - 1)), width - 1)
+        row = height - 1 - min(int((y - y_lo) / y_span * (height - 1)), height - 1)
+        grid[row][col] = "*"
+
+    top_label = f"{y_hi:.3g}" + (" (log10)" if log_y else "")
+    bottom_label = f"{y_lo:.3g}"
+    lines = [f"{y_label}: {top_label}"]
+    for row in grid:
+        lines.append("| " + "".join(row))
+    lines.append("+" + "-" * (width + 1))
+    lines.append(f"  {x_label}: {x_lo:.3g} .. {x_hi:.3g}   (y min {bottom_label})")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Query workload generation and evaluation metrics."""
+
+from repro.workloads.queries import (
+    SelectQuery,
+    data_distributed_queries,
+    uniform_queries,
+    random_k_values,
+    zipf_k_values,
+)
+from repro.workloads.metrics import (
+    error_ratio,
+    mean_error_ratio,
+    summarize_errors,
+    ErrorSummary,
+    TimingStats,
+    time_callable,
+)
+
+__all__ = [
+    "SelectQuery",
+    "data_distributed_queries",
+    "uniform_queries",
+    "random_k_values",
+    "zipf_k_values",
+    "error_ratio",
+    "mean_error_ratio",
+    "summarize_errors",
+    "ErrorSummary",
+    "TimingStats",
+    "time_callable",
+]

@@ -1,0 +1,118 @@
+"""Evaluation metrics: error ratios and timing statistics.
+
+The paper's accuracy metric is the *error ratio*: for each query the
+estimated cost is compared with the actual cost and the ratio averaged
+over the workload (Section 5.1.1).  We use the standard definition
+``|estimated - actual| / actual``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def error_ratio(estimated: float, actual: float) -> float:
+    """Relative estimation error ``|estimated - actual| / actual``.
+
+    A zero actual cost (possible only for empty indexes) pairs with a
+    zero estimate to give zero error; a nonzero estimate against a zero
+    actual is reported as an infinite ratio rather than hidden.
+    """
+    if actual == 0:
+        return 0.0 if estimated == 0 else float("inf")
+    return abs(estimated - actual) / abs(actual)
+
+
+def mean_error_ratio(estimates: Sequence[float], actuals: Sequence[float]) -> float:
+    """Average error ratio over a workload."""
+    if len(estimates) != len(actuals):
+        raise ValueError(
+            f"length mismatch: {len(estimates)} estimates vs {len(actuals)} actuals"
+        )
+    if not estimates:
+        raise ValueError("cannot average an empty workload")
+    return float(np.mean([error_ratio(e, a) for e, a in zip(estimates, actuals)]))
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Distribution summary of per-query error ratios."""
+
+    mean: float
+    median: float
+    p90: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3f} median={self.median:.3f} "
+            f"p90={self.p90:.3f} (n={self.count})"
+        )
+
+
+def summarize_errors(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> ErrorSummary:
+    """Summarize the error-ratio distribution of a workload."""
+    if len(estimates) != len(actuals):
+        raise ValueError(
+            f"length mismatch: {len(estimates)} estimates vs {len(actuals)} actuals"
+        )
+    if not estimates:
+        raise ValueError("cannot summarize an empty workload")
+    ratios = np.array([error_ratio(e, a) for e, a in zip(estimates, actuals)])
+    return ErrorSummary(
+        mean=float(ratios.mean()),
+        median=float(np.median(ratios)),
+        p90=float(np.percentile(ratios, 90)),
+        count=int(ratios.shape[0]),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TimingStats:
+    """Per-call timing statistics of a repeatedly-invoked operation."""
+
+    mean_seconds: float
+    min_seconds: float
+    total_seconds: float
+    calls: int
+
+    def __str__(self) -> str:
+        return f"mean={self.mean_seconds:.2e}s min={self.min_seconds:.2e}s calls={self.calls}"
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 100, warmup: int = 3
+) -> TimingStats:
+    """Measure the per-call wall-clock time of ``fn``.
+
+    Args:
+        fn: Zero-argument callable to measure.
+        repeats: Number of measured invocations.
+        warmup: Unmeasured invocations run first (JIT-free Python still
+            benefits from warm caches).
+
+    Raises:
+        ValueError: If ``repeats < 1``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for __ in range(warmup):
+        fn()
+    durations = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - start)
+    durations_arr = np.array(durations)
+    return TimingStats(
+        mean_seconds=float(durations_arr.mean()),
+        min_seconds=float(durations_arr.min()),
+        total_seconds=float(durations_arr.sum()),
+        calls=repeats,
+    )

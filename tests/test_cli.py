@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import save_points_csv
+
+
+@pytest.fixture(scope="module")
+def points_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "pts.csv"
+    rng = np.random.default_rng(0)
+    save_points_csv(rng.uniform(0, 100, size=(3_000, 2)), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def inner_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "inner.csv"
+    rng = np.random.default_rng(1)
+    save_points_csv(rng.uniform(0, 100, size=(3_000, 2)), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generates_csv(self, tmp_path, capsys):
+        out = tmp_path / "g.csv"
+        code = main(["generate", "--kind", "uniform", "-n", "500", "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "500" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kind", ["osm", "uniform", "skewed"])
+    def test_all_kinds(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.csv"
+        assert main(["generate", "--kind", kind, "-n", "100", "-o", str(out)]) == 0
+
+
+class TestIndexStats:
+    def test_prints_stats(self, points_csv, capsys):
+        assert main(["index-stats", points_csv, "--capacity", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "points:" in out and "3000" in out
+        assert "blocks:" in out
+
+
+class TestVisualize:
+    def test_density(self, points_csv, capsys):
+        assert main(["visualize", points_csv, "--width", "30", "--height", "10"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().split("\n")) == 10
+
+    def test_with_blocks(self, points_csv, capsys):
+        code = main(
+            ["visualize", points_csv, "--blocks", "--width", "30", "--height", "10"]
+        )
+        assert code == 0
+        assert "+" in capsys.readouterr().out
+
+
+class TestStaircase:
+    def test_prints_profile_and_plot(self, points_csv, capsys):
+        code = main(
+            [
+                "staircase", points_csv,
+                "--x", "50", "--y", "50", "--max-k", "256", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k_start" in out
+        assert "*" in out  # the ASCII staircase
+
+
+class TestEstimateSelect:
+    @pytest.mark.parametrize("technique", ["staircase", "density"])
+    def test_estimates(self, points_csv, capsys, technique):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--x", "50", "--y", "50", "-k", "32",
+                "--technique", technique,
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out and "actual:" in out and "error:" in out
+
+
+class TestEstimateJoin:
+    @pytest.mark.parametrize(
+        "technique", ["catalog-merge", "block-sample", "virtual-grid"]
+    )
+    def test_estimates(self, points_csv, inner_csv, capsys, technique):
+        code = main(
+            [
+                "estimate-join", points_csv, inner_csv,
+                "-k", "16", "--technique", technique,
+                "--sample-size", "30", "--grid-size", "4",
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert technique in out
+        assert "error:" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

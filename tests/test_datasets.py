@@ -1,0 +1,152 @@
+"""Tests for the dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    WORLD_BOUNDS,
+    generate_gaussian_clusters,
+    generate_osm_like,
+    generate_skewed,
+    generate_uniform,
+    load_points_csv,
+    save_points_csv,
+    scale_factor_points,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_uniform, generate_gaussian_clusters, generate_skewed, generate_osm_like],
+    )
+    def test_shape_and_bounds(self, generator):
+        pts = generator(1_000, seed=0)
+        assert pts.shape == (1_000, 2)
+        assert np.all(pts[:, 0] >= WORLD_BOUNDS.x_min)
+        assert np.all(pts[:, 0] <= WORLD_BOUNDS.x_max)
+        assert np.all(pts[:, 1] >= WORLD_BOUNDS.y_min)
+        assert np.all(pts[:, 1] <= WORLD_BOUNDS.y_max)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_uniform, generate_gaussian_clusters, generate_skewed, generate_osm_like],
+    )
+    def test_deterministic(self, generator):
+        assert np.array_equal(generator(500, seed=7), generator(500, seed=7))
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_uniform, generate_gaussian_clusters, generate_skewed, generate_osm_like],
+    )
+    def test_seed_sensitivity(self, generator):
+        assert not np.array_equal(generator(500, seed=1), generator(500, seed=2))
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_uniform, generate_gaussian_clusters, generate_skewed, generate_osm_like],
+    )
+    def test_zero_points(self, generator):
+        assert generator(0, seed=0).shape == (0, 2)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_uniform, generate_gaussian_clusters, generate_skewed, generate_osm_like],
+    )
+    def test_rejects_negative_n(self, generator):
+        with pytest.raises(ValueError):
+            generator(-1, seed=0)
+
+    def test_osm_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            generate_osm_like(100, city_fraction=0.8, road_fraction=0.5)
+
+    def test_skewed_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            generate_skewed(100, exponent=0)
+
+    def test_osm_is_nonuniform(self):
+        """The OSM-like generator must be strongly clustered: the most
+        crowded 1% of grid cells holds far more than 1% of the points."""
+        pts = generate_osm_like(50_000, seed=3)
+        hist, __, __ = np.histogram2d(pts[:, 0], pts[:, 1], bins=100)
+        sorted_cells = np.sort(hist.ravel())[::-1]
+        top_1pct = sorted_cells[: len(sorted_cells) // 100].sum()
+        assert top_1pct / pts.shape[0] > 0.2
+
+    def test_uniform_is_roughly_uniform(self):
+        pts = generate_uniform(50_000, seed=3)
+        hist, __, __ = np.histogram2d(pts[:, 0], pts[:, 1], bins=10)
+        assert hist.min() > 0.5 * hist.mean()
+
+    def test_structure_seed_shares_clusters(self):
+        """Two datasets with the same structure_seed but different point
+        seeds must be far more similar (by density histogram) than two
+        datasets with independent structures."""
+        a = generate_osm_like(20_000, seed=1, structure_seed=99)
+        b = generate_osm_like(20_000, seed=2, structure_seed=99)
+        c = generate_osm_like(20_000, seed=2, structure_seed=100)
+        bins = 40
+
+        def hist(p):
+            h, __, __ = np.histogram2d(
+                p[:, 0], p[:, 1], bins=bins, range=[[0, 1000], [0, 1000]]
+            )
+            return h.ravel() / p.shape[0]
+
+        same_structure = np.abs(hist(a) - hist(b)).sum()
+        diff_structure = np.abs(hist(a) - hist(c)).sum()
+        assert same_structure < diff_structure * 0.5
+
+    def test_structure_seed_still_gives_distinct_points(self):
+        a = generate_osm_like(1_000, seed=1, structure_seed=99)
+        b = generate_osm_like(1_000, seed=2, structure_seed=99)
+        assert not np.array_equal(a, b)
+
+
+class TestScaleFactors:
+    def test_nested_prefixes(self):
+        s1 = scale_factor_points(1, base_n=100, seed=0)
+        s3 = scale_factor_points(3, base_n=100, seed=0)
+        assert s1.shape[0] == 100
+        assert s3.shape[0] == 300
+        assert np.array_equal(s3[:100], s1)
+
+    def test_rejects_out_of_range_scale(self):
+        with pytest.raises(ValueError):
+            scale_factor_points(0, base_n=10)
+        with pytest.raises(ValueError):
+            scale_factor_points(11, base_n=10)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            scale_factor_points(1, base_n=10, kind="fractal")
+
+    @pytest.mark.parametrize("kind", ["osm", "uniform", "skewed"])
+    def test_kinds(self, kind):
+        pts = scale_factor_points(2, base_n=50, seed=0, kind=kind)
+        assert pts.shape == (100, 2)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        pts = generate_uniform(100, seed=0)
+        path = tmp_path / "pts.csv"
+        save_points_csv(pts, path)
+        loaded = load_points_csv(path)
+        assert np.allclose(pts, loaded)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points_csv(tmp_path / "absent.csv")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "pts.csv"
+        save_points_csv(generate_uniform(10, seed=0), path)
+        assert path.exists()
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)

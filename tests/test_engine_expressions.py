@@ -1,0 +1,93 @@
+"""Tests for predicate expressions and selectivity sampling."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AttributePredicate, SpatialTable, column
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(1)
+    n = 5_000
+    return SpatialTable(
+        "t",
+        rng.uniform(0, 100, size=(n, 2)),
+        {
+            "price": rng.uniform(0, 100, n),
+            "stars": rng.integers(1, 6, n),
+        },
+        capacity=256,
+    )
+
+
+class TestEvaluation:
+    def test_comparison_ops(self, table):
+        rows = np.arange(table.n_rows)
+        price = table.column_values("price")
+        assert np.array_equal(
+            (column("price") < 50).evaluate(table, rows), price < 50
+        )
+        assert np.array_equal(
+            (column("price") >= 50).evaluate(table, rows), price >= 50
+        )
+        assert np.array_equal(
+            (column("stars") == 3).evaluate(table, rows),
+            table.column_values("stars") == 3,
+        )
+
+    def test_conjunction(self, table):
+        rows = np.arange(table.n_rows)
+        pred = (column("price") < 50) & (column("stars") >= 4)
+        want = (table.column_values("price") < 50) & (
+            table.column_values("stars") >= 4
+        )
+        assert np.array_equal(pred.evaluate(table, rows), want)
+
+    def test_disjunction_and_negation(self, table):
+        rows = np.arange(table.n_rows)
+        pred = ~((column("price") < 50) | (column("stars") == 5))
+        want = ~(
+            (table.column_values("price") < 50)
+            | (table.column_values("stars") == 5)
+        )
+        assert np.array_equal(pred.evaluate(table, rows), want)
+
+    def test_evaluate_row(self, table):
+        pred = column("price") < 50
+        price = table.column_values("price")
+        for row in (0, 17, 321):
+            assert pred.evaluate_row(table, row) == (price[row] < 50)
+
+    def test_columns_tracking(self):
+        pred = (column("a") < 1) & ((column("b") > 2) | ~(column("a") == 0))
+        assert pred.columns() == frozenset({"a", "b"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AttributePredicate("price", "<>", 3)
+
+    def test_repr_readable(self):
+        pred = (column("a") < 1) & (column("b") >= 2)
+        assert "AND" in repr(pred)
+
+
+class TestSelectivity:
+    def test_matches_truth_on_large_sample(self, table):
+        pred = column("price") < 30
+        true_sigma = float(np.mean(table.column_values("price") < 30))
+        assert pred.estimate_selectivity(table) == pytest.approx(true_sigma, abs=0.05)
+
+    def test_never_zero(self, table):
+        pred = column("price") < -1  # nothing qualifies
+        assert pred.estimate_selectivity(table) > 0
+
+    def test_empty_table(self):
+        t = SpatialTable("e", np.empty((0, 2)), {"v": np.empty(0)})
+        assert (column("v") < 1).estimate_selectivity(t) == 1.0
+
+    def test_deterministic_given_seed(self, table):
+        pred = column("stars") >= 4
+        assert pred.estimate_selectivity(table, seed=5) == pred.estimate_selectivity(
+            table, seed=5
+        )

@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and expose a ``main``.
+Full runs take minutes, so they only execute when
+``REPRO_RUN_EXAMPLES=1`` is set (CI nightly / pre-release).
+"""
+
+import importlib.util
+import os
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "restaurant_finder",
+            "hotel_restaurant_join",
+            "batch_query_planning",
+            "query_engine",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+        assert module.__doc__, f"{path.stem} lacks a module docstring"
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_RUN_EXAMPLES") != "1",
+        reason="full example runs take minutes; set REPRO_RUN_EXAMPLES=1",
+    )
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_runs_end_to_end(self, path, capsys):
+        module = _load(path)
+        module.main()
+        assert capsys.readouterr().out  # produced output

@@ -1,0 +1,168 @@
+"""Integration tests: every experiment runs on the quick profile and
+produces a table with the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    PROFILES,
+    get_config,
+)
+from repro.experiments.runner import EXPERIMENTS, experiment_runner, main
+
+
+@pytest.fixture(scope="module")
+def quick() -> ExperimentConfig:
+    return get_config("quick")
+
+
+class TestConfig:
+    def test_profiles_exist(self):
+        assert {"quick", "default", "full"} <= set(PROFILES)
+
+    def test_get_config_overrides(self):
+        cfg = get_config("quick", n_queries=5)
+        assert cfg.n_queries == 5
+
+    def test_get_config_unknown(self):
+        with pytest.raises(KeyError):
+            get_config("gigantic")
+
+    def test_config_hashable(self):
+        assert hash(get_config("quick")) == hash(get_config("quick"))
+
+
+class TestResultTable:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "t", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t", columns=("a", "b"))
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+
+    def test_format_renders_all_rows(self):
+        result = ExperimentResult("x", "title", columns=("a",))
+        result.add_row(1)
+        result.notes.append("hello")
+        text = result.format_table()
+        assert "title" in text and "hello" in text
+
+
+class TestAllExperimentsRun:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_runs_and_is_nonempty(self, name, quick):
+        result = experiment_runner(name)(quick)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, f"{name} produced no rows"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            experiment_runner("fig99")
+
+
+class TestShapes:
+    """Qualitative paper shapes that must hold even at quick scale."""
+
+    def test_fig04_staircase_monotone(self, quick):
+        result = experiment_runner("fig04")(quick)
+        costs = result.column("cost_blocks")
+        assert costs == sorted(costs)
+        assert len(costs) >= 2  # the staircase has steps
+
+    def test_fig07_locality_monotone(self, quick):
+        result = experiment_runner("fig07")(quick)
+        sizes = result.column("locality_size")
+        assert sizes == sorted(sizes)
+
+    def test_fig12_staircase_faster_than_density(self, quick):
+        result = experiment_runner("fig12")(quick)
+        for row in result.rows:
+            __, t_cc, t_c, t_density = row
+            assert t_c < t_density
+            assert t_cc < t_density
+
+    def test_fig13_density_has_no_preprocessing(self, quick):
+        result = experiment_runner("fig13")(quick)
+        assert all(row[3] == 0.0 for row in result.rows)
+
+    def test_fig13_corners_cost_more_than_center(self, quick):
+        result = experiment_runner("fig13")(quick)
+        for __, t_cc, t_c, __d in result.rows:
+            assert t_cc > t_c
+
+    def test_fig14_storage_ordering(self, quick):
+        result = experiment_runner("fig14")(quick)
+        for __, cc_bytes, c_bytes, __d in result.rows:
+            assert cc_bytes > c_bytes > 0
+
+    def test_fig14_storage_grows_with_scale(self, quick):
+        result = experiment_runner("fig14")(quick)
+        cc = result.column("staircase_center_corners_bytes")
+        assert cc == sorted(cc)
+
+    def test_fig17_catalog_merge_fastest(self, quick):
+        result = experiment_runner("fig17")(quick)
+        for __, t_vg, t_bs, t_cm in result.rows:
+            assert t_cm < t_vg
+            assert t_cm < t_bs
+
+    def test_fig18_block_sample_slower_than_catalog_merge(self, quick):
+        result = experiment_runner("fig18")(quick)
+        for __, t_bs, t_cm in result.rows:
+            assert t_bs > t_cm
+
+    def test_fig20_virtual_grid_smaller(self, quick):
+        result = experiment_runner("fig20")(quick)
+        for __, cm_bytes, vg_bytes, ratio in result.rows:
+            assert cm_bytes > 0 and vg_bytes > 0
+            assert ratio == pytest.approx(cm_bytes / vg_bytes)
+
+    def test_fig21_block_sample_zero(self, quick):
+        result = experiment_runner("fig21")(quick)
+        assert all(row[2] == 0.0 for row in result.rows)
+
+    def test_fig22_storage_grows_with_parameter(self, quick):
+        result = experiment_runner("fig22")(quick)
+        vg_rows = [r for r in result.rows if r[0] == "b:virtual_grid"]
+        sizes = [r[2] for r in vg_rows]
+        assert sizes == sorted(sizes)
+
+    def test_fig24_has_all_techniques(self, quick):
+        result = experiment_runner("fig24")(quick)
+        techniques = set(result.column("technique"))
+        assert techniques == {
+            "Density-Based",
+            "Staircase (Center-Only)",
+            "Staircase (Center+Corners)",
+            "Block-Sample",
+            "Catalog-Merge",
+            "Virtual-Grid",
+        }
+        buckets = set(result.column("est_time"))
+        assert buckets <= {"Low", "Medium", "High", "None"}
+
+
+class TestRunnerCli:
+    def test_single_experiment(self, capsys):
+        code = main(["fig04", "--profile", "quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out
+
+    def test_dataset_override(self, capsys):
+        code = main(["fig04", "--profile", "quick", "--dataset", "uniform"])
+        assert code == 0
+        assert "fig04" in capsys.readouterr().out
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["fig04", "--profile", "quick", "--dataset", "fractal"])
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--profile", "quick"])

@@ -1,0 +1,79 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Point(1.5, -2.0)
+        assert p.x == 1.5
+        assert p.y == -2.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Point(float("nan"), 0.0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Point(0.0, float("inf"))
+
+    def test_frozen(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_zero_distance(self):
+        p = Point(7.0, -3.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+    @given(finite, finite, finite, finite)
+    def test_squared_consistent_with_distance(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert math.isclose(
+            a.distance_to(b) ** 2, a.squared_distance_to(b), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestHelpers:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_iter_unpacking(self):
+        x, y = Point(5.0, 6.0)
+        assert (x, y) == (5.0, 6.0)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coord = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect(0, 1, 2, 3)
+        assert r.as_tuple() == (0, 1, 2, 3)
+
+    def test_rejects_inverted_x(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 1, 1)
+
+    def test_rejects_inverted_y(self):
+        with pytest.raises(ValueError):
+            Rect(0, 2, 1, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, float("nan"), 1)
+
+    def test_degenerate_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.diagonal == 0.0
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert r.as_tuple() == (3, 4, 7, 6)
+
+    def test_from_center_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_bounding(self):
+        r = Rect.bounding([1, 5, 3], [2, 0, 4])
+        assert r.as_tuple() == (1, 0, 5, 4)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([], [])
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        r = Rect(0, 0, 4, 3)
+        assert (r.width, r.height, r.area) == (4, 3, 12)
+
+    def test_diagonal(self):
+        assert Rect(0, 0, 3, 4).diagonal == 5.0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners(self):
+        corners = Rect(0, 0, 1, 2).corners()
+        assert set(c.as_tuple() for c in corners) == {(0, 0), (1, 0), (0, 2), (1, 2)}
+
+
+class TestPredicates:
+    def test_contains_point_interior(self):
+        assert Rect(0, 0, 2, 2).contains_point(Point(1, 1))
+
+    def test_contains_point_boundary(self):
+        assert Rect(0, 0, 2, 2).contains_point(Point(0, 2))
+
+    def test_not_contains(self):
+        assert not Rect(0, 0, 2, 2).contains_point(Point(3, 1))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 4, 4).contains_rect(Rect(3, 3, 5, 5))
+
+    def test_intersects_touching(self):
+        # Closed rectangles: shared edge counts as intersection.
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_intersection_value(self):
+        r = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert r is not None and r.as_tuple() == (1, 1, 2, 2)
+
+    def test_intersection_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)).as_tuple() == (0, 0, 3, 3)
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+
+class TestSubdivision:
+    def test_quadrants_partition(self):
+        r = Rect(0, 0, 4, 4)
+        quads = r.quadrants()
+        assert len(quads) == 4
+        assert math.isclose(sum(q.area for q in quads), r.area)
+        for q in quads:
+            assert r.contains_rect(q)
+
+    def test_quadrants_meet_at_center(self):
+        r = Rect(0, 0, 4, 4)
+        sw, se, nw, ne = r.quadrants()
+        assert sw.x_max == se.x_min == 2
+        assert sw.y_max == nw.y_min == 2
+
+    def test_grid_cells_count_and_cover(self):
+        r = Rect(0, 0, 10, 10)
+        cells = list(r.grid_cells(5, 2))
+        assert len(cells) == 10
+        assert math.isclose(sum(c.area for c in cells), r.area)
+
+    def test_grid_cells_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(Rect(0, 0, 1, 1).grid_cells(0, 3))
+
+    @given(rects(), st.integers(1, 6), st.integers(1, 6))
+    def test_grid_cells_tile_area(self, r, nx, ny):
+        cells = list(r.grid_cells(nx, ny))
+        assert len(cells) == nx * ny
+        assert math.isclose(sum(c.area for c in cells), r.area, rel_tol=1e-6, abs_tol=1e-6)

@@ -1,0 +1,95 @@
+"""Unit tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index import GridIndex
+
+
+class TestConstruction:
+    def test_requires_bounds_when_empty(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.empty((0, 2)))
+
+    def test_virtual_grid(self):
+        grid = GridIndex.virtual(Rect(0, 0, 100, 100), nx=4)
+        assert grid.shape == (4, 4)
+        assert len(grid.cells) == 16
+        assert grid.num_blocks == 0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            GridIndex.virtual(Rect(0, 0, 1, 1), nx=0)
+
+    def test_rejects_points_outside_bounds(self):
+        with pytest.raises(ValueError):
+            GridIndex([[5.0, 5.0]], bounds=Rect(0, 0, 1, 1), nx=2)
+
+    def test_rectangular_grid(self):
+        grid = GridIndex.virtual(Rect(0, 0, 10, 20), nx=2, ny=4)
+        assert grid.shape == (2, 4)
+        assert len(grid.cells) == 8
+
+
+class TestPartitioning:
+    def test_points_land_in_their_cell(self, uniform_points):
+        grid = GridIndex(uniform_points, nx=8)
+        for block in grid.blocks:
+            r = block.rect
+            pts = block.points
+            assert np.all(pts[:, 0] >= r.x_min - 1e-9)
+            assert np.all(pts[:, 0] <= r.x_max + 1e-9)
+            assert np.all(pts[:, 1] >= r.y_min - 1e-9)
+            assert np.all(pts[:, 1] <= r.y_max + 1e-9)
+
+    def test_no_point_lost(self, uniform_points):
+        grid = GridIndex(uniform_points, nx=8)
+        assert grid.num_points == uniform_points.shape[0]
+
+    def test_cells_tile_bounds(self):
+        grid = GridIndex.virtual(Rect(0, 0, 10, 10), nx=5)
+        assert sum(c.area for c in grid.cells) == pytest.approx(100.0)
+
+    def test_cell_for(self):
+        grid = GridIndex.virtual(Rect(0, 0, 10, 10), nx=2)
+        cell = grid.cell_for(Point(2, 2))
+        assert cell.as_tuple() == (0, 0, 5, 5)
+        cell = grid.cell_for(Point(7, 8))
+        assert cell.as_tuple() == (5, 5, 10, 10)
+
+    def test_cell_for_boundary_point(self):
+        grid = GridIndex.virtual(Rect(0, 0, 10, 10), nx=2)
+        # The far boundary clamps into the last cell.
+        cell = grid.cell_for(Point(10, 10))
+        assert cell.as_tuple() == (5, 5, 10, 10)
+
+    def test_cell_for_outside_raises(self):
+        grid = GridIndex.virtual(Rect(0, 0, 10, 10), nx=2)
+        with pytest.raises(ValueError):
+            grid.cell_for(Point(11, 5))
+
+    def test_max_occupancy_reported_as_capacity(self, uniform_points):
+        grid = GridIndex(uniform_points, nx=4)
+        assert grid.capacity == max(b.count for b in grid.blocks)
+
+
+class TestHierarchyInterface:
+    def test_root_children_are_cells(self):
+        grid = GridIndex.virtual(Rect(0, 0, 4, 4), nx=2)
+        assert not grid.root.is_leaf
+        assert len(grid.root.children) == 4
+        for child in grid.root.children:
+            assert child.is_leaf
+
+    def test_knn_via_grid_matches_brute_force(self, uniform_points):
+        from repro.knn import brute_force_knn, knn_select
+
+        grid = GridIndex(uniform_points, nx=8)
+        q = Point(500.0, 500.0)
+        got, cost = knn_select(grid, q, 7)
+        want = brute_force_knn(uniform_points, q, 7)
+        d_got = np.hypot(got[:, 0] - q.x, got[:, 1] - q.y)
+        d_want = np.hypot(want[:, 0] - q.x, want[:, 1] - q.y)
+        assert np.allclose(d_got, d_want)
+        assert cost >= 1

@@ -1,0 +1,146 @@
+"""Tests for the mutable quadtree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index import MutableQuadtree, Quadtree
+from repro.knn import brute_force_knn, knn_select
+
+
+def fresh_tree(n=500, seed=0, capacity=16):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 100, size=(n, 2))
+    return MutableQuadtree(pts, bounds=Rect(0, 0, 100, 100), capacity=capacity), pts
+
+
+class TestInsert:
+    def test_bulk_load_counts(self):
+        tree, pts = fresh_tree()
+        assert tree.num_points == 500
+        assert tree.num_blocks > 1
+
+    def test_insert_increments(self):
+        tree, __ = fresh_tree(n=10)
+        tree.insert(50.0, 50.0)
+        assert tree.num_points == 11
+
+    def test_insert_outside_bounds_rejected(self):
+        tree, __ = fresh_tree(n=1)
+        with pytest.raises(ValueError):
+            tree.insert(200.0, 50.0)
+
+    def test_split_on_overflow(self):
+        tree = MutableQuadtree(bounds=Rect(0, 0, 10, 10), capacity=4)
+        rng = np.random.default_rng(1)
+        for __ in range(40):
+            tree.insert(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        assert all(b.count <= 4 for b in tree.blocks)
+        assert tree.num_points == 40
+
+    def test_duplicates_capped_by_depth(self):
+        tree = MutableQuadtree(bounds=Rect(0, 0, 1, 1), capacity=2, max_depth=4)
+        for __ in range(20):
+            tree.insert(0.3, 0.3)
+        assert tree.num_points == 20  # depth cap leaves an overfull leaf
+
+    def test_matches_static_build(self):
+        """Incremental inserts and the bulk constructor must agree on
+        the point multiset (block shapes may differ by split order)."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 100, size=(300, 2))
+        mutable = MutableQuadtree(bounds=Rect(0, 0, 100, 100), capacity=16)
+        for x, y in pts:
+            mutable.insert(float(x), float(y))
+        static = Quadtree(pts, bounds=Rect(0, 0, 100, 100), capacity=16)
+        a = np.sort(mutable.all_points().view([("x", float), ("y", float)]).ravel())
+        b = np.sort(static.all_points().view([("x", float), ("y", float)]).ravel())
+        assert np.array_equal(a, b)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree, pts = fresh_tree()
+        x, y = float(pts[0, 0]), float(pts[0, 1])
+        assert tree.delete(x, y)
+        assert tree.num_points == 499
+
+    def test_delete_missing(self):
+        tree, __ = fresh_tree()
+        assert not tree.delete(-1.0, -1.0)
+        assert not tree.delete(55.5, 44.4)
+
+    def test_merge_on_underflow(self):
+        tree = MutableQuadtree(bounds=Rect(0, 0, 10, 10), capacity=4)
+        rng = np.random.default_rng(3)
+        inserted = [
+            (float(rng.uniform(0, 10)), float(rng.uniform(0, 10))) for __ in range(40)
+        ]
+        for x, y in inserted:
+            tree.insert(x, y)
+        blocks_before = tree.num_blocks
+        for x, y in inserted[:36]:
+            assert tree.delete(x, y)
+        assert tree.num_points == 4
+        assert tree.num_blocks < blocks_before
+
+    def test_delete_then_reinsert_roundtrip(self):
+        tree, pts = fresh_tree(n=50)
+        for x, y in pts[:20]:
+            assert tree.delete(float(x), float(y))
+        for x, y in pts[:20]:
+            tree.insert(float(x), float(y))
+        assert tree.num_points == 50
+
+
+class TestDirtyTracking:
+    def test_bulk_load_is_clean(self):
+        tree, __ = fresh_tree()
+        assert tree.dirty_regions == ()
+        assert tree.mutations_since_clear == 0
+
+    def test_mutations_tracked(self):
+        tree, pts = fresh_tree(n=50)
+        region = tree.insert(10.0, 10.0)
+        assert region.contains_point(Point(10.0, 10.0))
+        tree.delete(float(pts[0, 0]), float(pts[0, 1]))
+        assert tree.mutations_since_clear == 2
+        assert len(tree.dirty_regions) >= 2
+
+    def test_clear(self):
+        tree, __ = fresh_tree(n=20)
+        tree.insert(1.0, 1.0)
+        tree.clear_dirty()
+        assert tree.mutations_since_clear == 0
+
+
+class TestAsKnnSubstrate:
+    def test_knn_after_mutations(self):
+        tree, pts = fresh_tree(n=400, capacity=16)
+        rng = np.random.default_rng(4)
+        live = [tuple(p) for p in pts]
+        for __ in range(100):
+            x, y = float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+            tree.insert(x, y)
+            live.append((x, y))
+        for x, y in live[:80]:
+            assert tree.delete(x, y)
+        live = live[80:]
+        q = Point(50, 50)
+        got, cost = knn_select(tree, q, 7)
+        want = brute_force_knn(np.array(live), q, 7)
+        d_got = np.hypot(got[:, 0] - 50, got[:, 1] - 50)
+        d_want = np.hypot(want[:, 0] - 50, want[:, 1] - 50)
+        assert np.allclose(d_got, d_want)
+        assert cost >= 1
+
+    def test_leaf_for_contains(self):
+        tree, __ = fresh_tree()
+        leaf = tree.leaf_for(Point(42.0, 58.0))
+        assert leaf.rect.contains_point(Point(42.0, 58.0))
+
+    def test_block_ids_contiguous(self):
+        tree, __ = fresh_tree()
+        tree.insert(1.0, 2.0)
+        ids = [b.block_id for b in tree.blocks]
+        assert ids == list(range(len(ids)))

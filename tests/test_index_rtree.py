@@ -1,0 +1,147 @@
+"""Unit tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.index import RTree
+
+
+@pytest.fixture(scope="module")
+def rtree(osm_points_module):
+    return RTree(osm_points_module, capacity=64, fanout=8)
+
+
+@pytest.fixture(scope="module")
+def osm_points_module():
+    from repro.datasets import generate_osm_like
+
+    return generate_osm_like(4_000, seed=11)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTree(np.empty((0, 2)))
+        assert tree.num_points == 0
+        assert tree.num_blocks == 0
+        assert tree.root.is_leaf
+
+    def test_single_point(self):
+        tree = RTree([[3.0, 4.0]])
+        assert tree.num_blocks == 1
+        assert tree.blocks[0].rect.as_tuple() == (3.0, 4.0, 3.0, 4.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([[0.0, 0.0]], capacity=0)
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            RTree([[0.0, 0.0]], fanout=1)
+
+
+class TestInvariants:
+    def test_no_point_lost(self, rtree, osm_points_module):
+        assert rtree.num_points == osm_points_module.shape[0]
+
+    def test_capacity_respected(self, rtree):
+        for block in rtree.blocks:
+            assert 0 < block.count <= rtree.capacity
+
+    def test_leaf_mbrs_tight(self, rtree):
+        for block in rtree.blocks:
+            pts = block.points
+            assert block.rect.x_min == pts[:, 0].min()
+            assert block.rect.x_max == pts[:, 0].max()
+            assert block.rect.y_min == pts[:, 1].min()
+            assert block.rect.y_max == pts[:, 1].max()
+
+    def test_parent_mbr_covers_children(self, rtree):
+        def check(node):
+            if node.is_leaf:
+                return
+            for child in node.children:
+                assert node.rect.contains_rect(child.rect)
+                check(child)
+
+        check(rtree.root)
+
+    def test_fanout_respected(self, rtree):
+        def check(node):
+            if node.is_leaf:
+                return
+            assert 1 <= len(node.children) <= 8
+            for child in node.children:
+                check(child)
+
+        check(rtree.root)
+
+    def test_height_logarithmic(self, rtree):
+        # 4000 points, capacity 64 -> 63 leaves; fanout 8 -> height 3-4.
+        assert 2 <= rtree.height() <= 5
+
+    def test_multiset_of_points_preserved(self, rtree, osm_points_module):
+        collected = rtree.all_points()
+        original = np.sort(osm_points_module.view([("x", float), ("y", float)]).ravel())
+        rebuilt = np.sort(collected.view([("x", float), ("y", float)]).ravel())
+        assert np.array_equal(original, rebuilt)
+
+
+class TestStrProperties:
+    """Hypothesis checks of the STR packing invariants."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    from hypothesis.extra.numpy import arrays
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            float,
+            st.tuples(st.integers(1, 200), st.just(2)),
+            elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        st.integers(1, 32),
+    )
+    def test_leaf_count_and_capacity(self, pts, capacity):
+        import math
+
+        tree = RTree(pts, capacity=capacity)
+        n = pts.shape[0]
+        assert tree.num_points == n
+        assert all(0 < b.count <= capacity for b in tree.blocks)
+        # STR packs fully: the number of leaves is exactly ceil(n / cap).
+        assert tree.num_blocks == math.ceil(n / capacity)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            float,
+            st.tuples(st.integers(1, 150), st.just(2)),
+            elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        )
+    )
+    def test_mbrs_contain_their_points(self, pts):
+        tree = RTree(pts, capacity=16)
+        for block in tree.blocks:
+            r = block.rect
+            assert np.all(block.points[:, 0] >= r.x_min)
+            assert np.all(block.points[:, 0] <= r.x_max)
+            assert np.all(block.points[:, 1] >= r.y_min)
+            assert np.all(block.points[:, 1] <= r.y_max)
+
+
+class TestAsKnnSubstrate:
+    def test_distance_browsing_matches_brute_force(self, rtree, osm_points_module):
+        from repro.knn import brute_force_knn, knn_select
+
+        rng = np.random.default_rng(3)
+        for __ in range(10):
+            q = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            k = int(rng.integers(1, 50))
+            got, cost = knn_select(rtree, q, k)
+            want = brute_force_knn(osm_points_module, q, k)
+            d_got = np.hypot(got[:, 0] - q.x, got[:, 1] - q.y)
+            d_want = np.hypot(want[:, 0] - q.x, want[:, 1] - q.y)
+            assert np.allclose(d_got, d_want)
+            assert cost >= 1

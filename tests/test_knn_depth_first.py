@@ -1,0 +1,54 @@
+"""Tests for the depth-first branch-and-bound k-NN comparator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.knn import brute_force_knn, depth_first_knn, knn_select
+
+
+def dist_to(q, pts):
+    return np.hypot(pts[:, 0] - q.x, pts[:, 1] - q.y)
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, osm_points, osm_quadtree):
+        rng = np.random.default_rng(0)
+        for __ in range(15):
+            q = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            k = int(rng.integers(1, 60))
+            got, __cost = depth_first_knn(osm_quadtree, q, k)
+            want = brute_force_knn(osm_points, q, k)
+            assert np.allclose(dist_to(q, got), dist_to(q, want))
+
+    def test_k_larger_than_dataset(self):
+        from repro.index import Quadtree
+
+        pts = np.random.default_rng(1).uniform(0, 10, size=(15, 2))
+        tree = Quadtree(pts, capacity=4)
+        got, __cost = depth_first_knn(tree, Point(5, 5), 50)
+        assert got.shape[0] == 15
+
+    def test_rejects_k_zero(self, osm_quadtree):
+        with pytest.raises(ValueError):
+            depth_first_knn(osm_quadtree, Point(0, 0), 0)
+
+
+class TestSuboptimality:
+    def test_never_cheaper_than_distance_browsing(self, osm_quadtree):
+        """Hjaltason & Samet prove distance browsing optimal; the
+        depth-first algorithm scans at least as many blocks (Figure 1
+        of the paper shows 3 vs 2) on generic-position workloads."""
+        rng = np.random.default_rng(2)
+        pts = osm_quadtree.all_points()
+        worse = 0
+        for __ in range(30):
+            i = int(rng.integers(0, pts.shape[0]))
+            q = Point(float(pts[i, 0]) + 0.5, float(pts[i, 1]) - 0.5)
+            k = int(rng.integers(1, 120))
+            __r1, cost_df = depth_first_knn(osm_quadtree, q, k)
+            __r2, cost_db = knn_select(osm_quadtree, q, k)
+            assert cost_df >= cost_db
+            worse += cost_df > cost_db
+        # The suboptimality must actually materialize somewhere.
+        assert worse > 0

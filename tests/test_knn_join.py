@@ -1,0 +1,84 @@
+"""Tests for the locality-based k-NN-Join."""
+
+import numpy as np
+import pytest
+
+from repro.index import Quadtree
+from repro.knn import knn_join, knn_join_cost, naive_knn_join
+
+
+class TestJoinCorrectness:
+    def test_matches_naive_join(self):
+        rng = np.random.default_rng(0)
+        outer_pts = rng.uniform(0, 100, size=(200, 2))
+        inner_pts = rng.uniform(0, 100, size=(300, 2))
+        outer = Quadtree(outer_pts, capacity=32)
+        inner = Quadtree(inner_pts, capacity=32)
+        k = 5
+
+        pairs, stats = knn_join(outer, inner, k)
+        for block_pts, neighbors in pairs:
+            want = naive_knn_join(block_pts, inner_pts, k)
+            d_got = np.linalg.norm(neighbors - block_pts[:, None, :], axis=2)
+            d_want = np.linalg.norm(want - block_pts[:, None, :], axis=2)
+            assert np.allclose(d_got, d_want)
+        assert stats.blocks_scanned == knn_join_cost(outer, inner, k)
+        assert stats.outer_blocks_processed == outer.num_blocks
+
+    def test_k_exceeds_inner_size(self):
+        rng = np.random.default_rng(1)
+        outer = Quadtree(rng.uniform(0, 10, size=(20, 2)), capacity=8)
+        inner_pts = rng.uniform(0, 10, size=(7, 2))
+        inner = Quadtree(inner_pts, capacity=8)
+        pairs, __stats = knn_join(outer, inner, 20)
+        for block_pts, neighbors in pairs:
+            assert neighbors.shape == (block_pts.shape[0], 7, 2)
+
+    def test_rejects_k_zero(self, osm_quadtree, inner_quadtree):
+        with pytest.raises(ValueError):
+            knn_join(osm_quadtree, inner_quadtree, 0)
+
+    def test_asymmetry(self, osm_quadtree, inner_quadtree):
+        """R join S and S join R are different operations with, in
+        general, different costs (Section 2)."""
+        c1 = knn_join_cost(osm_quadtree, inner_quadtree, 16)
+        c2 = knn_join_cost(inner_quadtree, osm_quadtree, 16)
+        assert c1 > 0 and c2 > 0
+        # Not asserting inequality (could coincide), but both are valid
+        # and independently computed.
+
+
+class TestJoinCost:
+    def test_cost_monotone_in_k(self, osm_quadtree, inner_quadtree):
+        costs = [knn_join_cost(osm_quadtree, inner_quadtree, k) for k in (1, 16, 256)]
+        assert costs == sorted(costs)
+
+    def test_cost_bounds(self, osm_quadtree, inner_quadtree):
+        cost = knn_join_cost(osm_quadtree, inner_quadtree, 1)
+        # Each outer block scans at least one inner block and at most
+        # all of them.
+        n_outer = osm_quadtree.num_blocks
+        n_inner = inner_quadtree.num_blocks
+        assert n_outer <= cost <= n_outer * n_inner
+
+
+class TestNaiveJoin:
+    def test_shapes(self):
+        out = naive_knn_join(np.zeros((3, 2)), np.ones((10, 2)), 4)
+        assert out.shape == (3, 4, 2)
+
+    def test_neighbors_sorted_by_distance(self):
+        rng = np.random.default_rng(2)
+        outer = rng.uniform(0, 1, size=(5, 2))
+        inner = rng.uniform(0, 1, size=(50, 2))
+        out = naive_knn_join(outer, inner, 10)
+        d = np.linalg.norm(out - outer[:, None, :], axis=2)
+        assert np.all(np.diff(d, axis=1) >= -1e-12)
+
+    def test_empty_outer(self):
+        out = naive_knn_join(np.empty((0, 2)), np.ones((5, 2)), 3)
+        assert out.shape[0] == 0
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            naive_knn_join(np.zeros((1, 2)), np.zeros((1, 2)), 0)

@@ -1,0 +1,157 @@
+"""Tests for the cost-based query optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import StaircaseEstimator
+from repro.geometry import Point
+from repro.index import Quadtree
+from repro.optimizer import (
+    FilterThenKnnPlan,
+    IncrementalKnnPlan,
+    choose_batch_plan,
+    choose_select_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    from repro.datasets import generate_osm_like
+
+    return Quadtree(generate_osm_like(4_000, seed=9), capacity=64)
+
+
+@pytest.fixture(scope="module")
+def estimator(tree):
+    return StaircaseEstimator(tree, max_k=512)
+
+
+def cheap_predicate(x, y):
+    """A deterministic ~50%-selective predicate on position."""
+    return (int(x * 1000) + int(y * 1000)) % 2 == 0
+
+
+def rare_predicate(x, y):
+    """A deterministic ~2%-selective predicate."""
+    return (int(x * 1000) + int(y * 1000)) % 50 == 0
+
+
+class TestPlans:
+    def test_filter_then_knn_scans_everything(self, tree):
+        plan = FilterThenKnnPlan(tree, cheap_predicate)
+        result = plan.execute(Point(500, 500), 5)
+        assert result.blocks_scanned == tree.num_blocks
+        assert plan.estimated_cost(5) == tree.num_blocks
+
+    def test_filter_then_knn_results_satisfy_predicate(self, tree):
+        plan = FilterThenKnnPlan(tree, cheap_predicate)
+        result = plan.execute(Point(500, 500), 10)
+        for x, y in result.neighbors:
+            assert cheap_predicate(x, y)
+
+    def test_incremental_returns_k_qualifying(self, tree):
+        plan = IncrementalKnnPlan(tree, cheap_predicate, selectivity=0.5)
+        result = plan.execute(Point(500, 500), 10)
+        assert result.found == 10
+        for x, y in result.neighbors:
+            assert cheap_predicate(x, y)
+
+    def test_incremental_results_in_distance_order(self, tree):
+        plan = IncrementalKnnPlan(tree, cheap_predicate, selectivity=0.5)
+        q = Point(500, 500)
+        result = plan.execute(q, 20)
+        d = np.hypot(result.neighbors[:, 0] - q.x, result.neighbors[:, 1] - q.y)
+        assert np.all(np.diff(d) >= 0)
+
+    def test_two_plans_agree_on_answers(self, tree):
+        q = Point(321, 654)
+        k = 8
+        a = FilterThenKnnPlan(tree, cheap_predicate).execute(q, k)
+        b = IncrementalKnnPlan(tree, cheap_predicate, selectivity=0.5).execute(q, k)
+        da = np.hypot(a.neighbors[:, 0] - q.x, a.neighbors[:, 1] - q.y)
+        db = np.hypot(b.neighbors[:, 0] - q.x, b.neighbors[:, 1] - q.y)
+        assert np.allclose(da, db)
+
+    def test_incremental_usually_cheaper_for_small_k(self, tree):
+        q = Point(500, 500)
+        a = FilterThenKnnPlan(tree, cheap_predicate).execute(q, 5)
+        b = IncrementalKnnPlan(tree, cheap_predicate, selectivity=0.5).execute(q, 5)
+        assert b.blocks_scanned < a.blocks_scanned
+
+    def test_effective_k(self, tree):
+        plan = IncrementalKnnPlan(tree, rare_predicate, selectivity=0.02)
+        assert plan.effective_k(10) == 500
+
+    def test_selectivity_validation(self, tree):
+        with pytest.raises(ValueError):
+            IncrementalKnnPlan(tree, cheap_predicate, selectivity=0.0)
+        with pytest.raises(ValueError):
+            IncrementalKnnPlan(tree, cheap_predicate, selectivity=1.5)
+
+    def test_k_validation(self, tree):
+        with pytest.raises(ValueError):
+            FilterThenKnnPlan(tree, cheap_predicate).execute(Point(0, 0), 0)
+        with pytest.raises(ValueError):
+            IncrementalKnnPlan(tree, cheap_predicate, 0.5).execute(Point(0, 0), 0)
+
+
+class TestChooser:
+    def test_chooses_incremental_for_selective_small_k(self, tree, estimator):
+        choice, __, __ = choose_select_plan(
+            tree, estimator, Point(500, 500), 5, cheap_predicate, 0.5
+        )
+        assert choice.chosen == "incremental-knn"
+        assert choice.predicted_speedup > 1
+
+    def test_chooses_filter_for_rare_predicate_large_k(self, tree, estimator):
+        """With a 2% predicate and large k, incremental browsing needs
+        k/0.02 neighbors — more than a full scan costs."""
+        choice, __, __ = choose_select_plan(
+            tree, estimator, Point(500, 500), 400, rare_predicate, 0.02
+        )
+        assert choice.chosen == "filter-then-knn"
+
+    def test_choice_matches_actual_costs(self, tree, estimator):
+        """The chosen plan should actually be the cheaper one to run on
+        a decisive workload (this is the paper's whole motivation)."""
+        q = Point(500, 500)
+        choice, filter_plan, incremental_plan = choose_select_plan(
+            tree, estimator, q, 5, cheap_predicate, 0.5
+        )
+        actual_filter = filter_plan.execute(q, 5).blocks_scanned
+        actual_incremental = incremental_plan.execute(q, 5).blocks_scanned
+        actually_cheaper = (
+            "filter-then-knn"
+            if actual_filter <= actual_incremental
+            else "incremental-knn"
+        )
+        assert choice.chosen == actually_cheaper
+
+
+class TestBatchChooser:
+    def test_small_batch_prefers_selects(self, tree, estimator, inner_quadtree,
+                                          inner_count_index):
+        from repro.estimators import CatalogMergeEstimator
+
+        join_est = CatalogMergeEstimator(tree, inner_count_index, sample_size=50,
+                                         max_k=512)
+        pts = tree.all_points()
+        few = [Point(float(x), float(y)) for x, y in pts[:2]]
+        choice = choose_batch_plan(estimator, join_est, few, 8)
+        assert choice.chosen == "per-query-selects"
+
+    def test_rejects_empty_batch(self, estimator, tree, inner_count_index):
+        from repro.estimators import CatalogMergeEstimator
+
+        join_est = CatalogMergeEstimator(tree, inner_count_index, sample_size=10,
+                                         max_k=64)
+        with pytest.raises(ValueError):
+            choose_batch_plan(estimator, join_est, [], 8)
+
+    def test_rejects_k_zero(self, estimator, tree, inner_count_index):
+        from repro.estimators import CatalogMergeEstimator
+
+        join_est = CatalogMergeEstimator(tree, inner_count_index, sample_size=10,
+                                         max_k=64)
+        with pytest.raises(ValueError):
+            choose_batch_plan(estimator, join_est, [Point(0, 0)], 0)

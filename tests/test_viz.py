@@ -1,0 +1,87 @@
+"""Tests for the ASCII visualizers."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import IntervalCatalog
+from repro.geometry import Rect
+from repro.index import Quadtree
+from repro.viz import render_blocks, render_density, render_series, render_staircase
+
+
+class TestDensity:
+    def test_dimensions(self, osm_points):
+        art = render_density(osm_points, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_dense_region_darker(self):
+        rng = np.random.default_rng(0)
+        cluster = rng.normal([25, 25], 1.0, size=(5_000, 2))
+        sparse = rng.uniform(0, 100, size=(100, 2))
+        pts = np.clip(np.concatenate([cluster, sparse]), 0, 100)
+        art = render_density(pts, bounds=Rect(0, 0, 100, 100), width=20, height=20)
+        lines = art.split("\n")
+        # The cluster at (25, 25) maps to the lower-left quadrant.
+        cluster_char = lines[14][5]
+        corner_char = lines[1][18]
+        ramp = " .:-=+*#%@"
+        assert ramp.index(cluster_char) > ramp.index(corner_char)
+
+    def test_empty_needs_bounds(self):
+        with pytest.raises(ValueError):
+            render_density(np.empty((0, 2)))
+        art = render_density(np.empty((0, 2)), bounds=Rect(0, 0, 1, 1), width=5, height=3)
+        assert art == "\n".join(["     "] * 3)
+
+    def test_rejects_bad_dimensions(self, osm_points):
+        with pytest.raises(ValueError):
+            render_density(osm_points, width=0)
+
+
+class TestBlocks:
+    def test_draws_boundaries(self):
+        pts = np.random.default_rng(1).uniform(0, 100, size=(500, 2))
+        tree = Quadtree(pts, capacity=64)
+        art = render_blocks(tree, width=40, height=20)
+        assert "+" in art and "-" in art and "|" in art
+        lines = art.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 40 for line in lines)
+
+    def test_rejects_tiny_canvas(self, osm_quadtree):
+        with pytest.raises(ValueError):
+            render_blocks(osm_quadtree, width=1)
+
+
+class TestStaircase:
+    def test_renders(self):
+        cat = IntervalCatalog([(1, 100, 2), (101, 400, 5), (401, 1000, 9)])
+        art = render_staircase(cat, width=30, height=8)
+        assert "*" in art
+        assert "cost" in art and "k" in art
+
+
+class TestSeries:
+    def test_basic(self):
+        art = render_series([1, 2, 3], [10, 20, 30], width=10, height=5)
+        assert art.count("*") >= 3
+
+    def test_log_scale(self):
+        art = render_series(
+            [1, 2, 3], [1e-6, 1e-3, 1.0], width=10, height=5, log_y=True
+        )
+        assert "(log10)" in art
+
+    def test_constant_series(self):
+        art = render_series([1, 2, 3], [5, 5, 5], width=10, height=4)
+        assert "*" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_series([], [])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1])

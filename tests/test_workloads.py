@@ -1,0 +1,122 @@
+"""Tests for workload generation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.workloads import (
+    ErrorSummary,
+    SelectQuery,
+    data_distributed_queries,
+    error_ratio,
+    mean_error_ratio,
+    random_k_values,
+    summarize_errors,
+    time_callable,
+    uniform_queries,
+    zipf_k_values,
+)
+from repro.geometry import Point
+
+
+class TestQueries:
+    def test_select_query_validates_k(self):
+        with pytest.raises(ValueError):
+            SelectQuery(Point(0, 0), 0)
+
+    def test_random_k_range(self):
+        ks = random_k_values(1_000, 64, seed=0)
+        assert ks.min() >= 1
+        assert ks.max() <= 64
+
+    def test_random_k_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_k_values(-1, 10)
+        with pytest.raises(ValueError):
+            random_k_values(10, 0)
+
+    def test_zipf_k_range(self):
+        ks = zipf_k_values(2_000, 100, seed=0)
+        assert ks.min() >= 1
+        assert ks.max() <= 100
+
+    def test_zipf_is_small_k_heavy(self):
+        uniform = random_k_values(5_000, 100, seed=0)
+        zipf = zipf_k_values(5_000, 100, seed=0)
+        assert float(np.median(zipf)) < float(np.median(uniform))
+        # More than half the Zipf mass sits in the bottom decile.
+        assert float(np.mean(zipf <= 10)) > 0.5
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_k_values(10, 100, exponent=1.0)
+
+    def test_zipf_deterministic(self):
+        assert np.array_equal(zipf_k_values(100, 50, seed=3), zipf_k_values(100, 50, seed=3))
+
+    def test_data_distributed_queries_on_data(self, osm_points):
+        queries = data_distributed_queries(osm_points, 50, 32, seed=0)
+        assert len(queries) == 50
+        point_set = {(x, y) for x, y in osm_points}
+        for q in queries:
+            assert (q.query.x, q.query.y) in point_set
+            assert 1 <= q.k <= 32
+
+    def test_data_distributed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            data_distributed_queries(np.empty((0, 2)), 5, 8)
+
+    def test_uniform_queries_in_bounds(self):
+        bounds = Rect(10, 20, 30, 40)
+        queries = uniform_queries(bounds, 50, 16, seed=0)
+        assert len(queries) == 50
+        for q in queries:
+            assert bounds.contains_point(q.query)
+
+    def test_deterministic(self, osm_points):
+        a = data_distributed_queries(osm_points, 20, 8, seed=5)
+        b = data_distributed_queries(osm_points, 20, 8, seed=5)
+        assert a == b
+
+
+class TestErrorMetrics:
+    def test_error_ratio_basics(self):
+        assert error_ratio(10, 10) == 0.0
+        assert error_ratio(15, 10) == 0.5
+        assert error_ratio(5, 10) == 0.5
+
+    def test_error_ratio_zero_actual(self):
+        assert error_ratio(0, 0) == 0.0
+        assert error_ratio(1, 0) == float("inf")
+
+    def test_mean_error_ratio(self):
+        assert mean_error_ratio([10, 20], [10, 10]) == pytest.approx(0.5)
+
+    def test_mean_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_error_ratio([1], [1, 2])
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_error_ratio([], [])
+
+    def test_summarize(self):
+        summary = summarize_errors([10, 20, 30], [10, 10, 10])
+        assert isinstance(summary, ErrorSummary)
+        assert summary.mean == pytest.approx(1.0)
+        assert summary.median == pytest.approx(1.0)
+        assert summary.count == 3
+        assert "mean" in str(summary)
+
+
+class TestTiming:
+    def test_time_callable(self):
+        stats = time_callable(lambda: sum(range(100)), repeats=10, warmup=1)
+        assert stats.calls == 10
+        assert stats.mean_seconds > 0
+        assert stats.min_seconds <= stats.mean_seconds
+        assert stats.total_seconds >= stats.min_seconds * 10
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
