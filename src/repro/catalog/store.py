@@ -24,9 +24,13 @@ from typing import Iterator, Mapping
 
 from repro.catalog.intervals import IntervalCatalog
 from repro.catalog.serialize import catalog_from_bytes, catalog_to_bytes
+from repro.resilience.errors import CatalogCorruptError
 
 _MAGIC = b"RPCS"
-_VERSION = 1
+# Version 2: embedded catalog blobs carry a version byte and a CRC32
+# checksum (see repro.catalog.serialize); version-1 stores are rejected
+# as unreadable rather than risking a silent misparse.
+_VERSION = 2
 _U32 = struct.Struct("<I")
 
 
@@ -94,14 +98,16 @@ class CatalogStore:
         """Deserialize a store.
 
         Raises:
-            ValueError: On wrong magic/version or truncated payloads.
+            CatalogCorruptError: On wrong magic/version, truncated
+                payloads, trailing bytes, or corrupt embedded catalogs
+                (``CatalogCorruptError`` is also a ``ValueError``).
         """
         if data[:4] != _MAGIC:
-            raise ValueError("not a catalog store (bad magic)")
+            raise CatalogCorruptError("not a catalog store (bad magic)")
         offset = 4
         version, offset = _read_u32(data, offset)
         if version != _VERSION:
-            raise ValueError(f"unsupported catalog store version {version}")
+            raise CatalogCorruptError(f"unsupported catalog store version {version}")
         n_meta, offset = _read_u32(data, offset)
         n_entries, offset = _read_u32(data, offset)
         store = cls()
@@ -114,11 +120,11 @@ class CatalogStore:
             blob_len, offset = _read_u32(data, offset)
             blob = data[offset : offset + blob_len]
             if len(blob) != blob_len:
-                raise ValueError("truncated catalog blob")
+                raise CatalogCorruptError("truncated catalog blob")
             offset += blob_len
             store.put(key, catalog_from_bytes(blob))
         if offset != len(data):
-            raise ValueError("trailing bytes after catalog store payload")
+            raise CatalogCorruptError("trailing bytes after catalog store payload")
         return store
 
     # ------------------------------------------------------------------
@@ -136,7 +142,7 @@ class CatalogStore:
 
         Raises:
             FileNotFoundError: If the file does not exist.
-            ValueError: On malformed content.
+            CatalogCorruptError: On malformed content.
         """
         path = Path(path)
         if not path.exists():
@@ -151,7 +157,7 @@ def _pack_str(text: str) -> bytes:
 
 def _read_u32(data: bytes, offset: int) -> tuple[int, int]:
     if offset + 4 > len(data):
-        raise ValueError("truncated catalog store")
+        raise CatalogCorruptError("truncated catalog store")
     (value,) = _U32.unpack_from(data, offset)
     return value, offset + 4
 
@@ -160,5 +166,8 @@ def _read_str(data: bytes, offset: int) -> tuple[str, int]:
     length, offset = _read_u32(data, offset)
     raw = data[offset : offset + length]
     if len(raw) != length:
-        raise ValueError("truncated catalog store string")
-    return raw.decode("utf-8"), offset + length
+        raise CatalogCorruptError("truncated catalog store string")
+    try:
+        return raw.decode("utf-8"), offset + length
+    except UnicodeDecodeError as exc:
+        raise CatalogCorruptError(f"corrupt catalog store string: {exc}") from exc

@@ -12,6 +12,12 @@ Subcommands::
 Every estimation command prints the estimate, the ground-truth cost,
 and the error ratio, so the CLI doubles as a quick calibration check on
 user-supplied data.
+
+Failures from the resilience taxonomy (malformed CSVs, invalid queries,
+corrupt catalogs) exit with code 2 and a one-line ``error:`` message on
+stderr.  The estimate commands degrade through estimator fallback
+chains by default; ``--strict`` disables the degradation so the
+requested technique's failure surfaces instead.
 """
 
 from __future__ import annotations
@@ -37,9 +43,16 @@ from repro.estimators import (
     StaircaseEstimator,
     VirtualGridEstimator,
 )
+from repro.estimators import UniformModelEstimator
 from repro.geometry import Point
 from repro.index import CountIndex, Quadtree
 from repro.knn import knn_join_cost, select_cost_exact, select_cost_profile
+from repro.resilience.errors import EstimationError
+from repro.resilience.guards import require_finite_coordinates
+from repro.resilience.fallback import (
+    FallbackJoinEstimator,
+    FallbackSelectEstimator,
+)
 from repro.viz import render_blocks, render_density, render_staircase
 
 _GENERATORS = {
@@ -92,6 +105,7 @@ def _cmd_visualize(args: argparse.Namespace) -> int:
 def _cmd_staircase(args: argparse.Namespace) -> int:
     index = _load_index(args.points, args.capacity)
     counts = CountIndex.from_index(index)
+    require_finite_coordinates(args.x, args.y, "anchor point")
     anchor = Point(args.x, args.y)
     profile = select_cost_profile(counts, index.blocks, anchor, args.max_k)
     print(f"{'k_start':>8} {'k_end':>8} {'cost':>6}")
@@ -106,12 +120,24 @@ def _cmd_staircase(args: argparse.Namespace) -> int:
 def _cmd_estimate_select(args: argparse.Namespace) -> int:
     index = _load_index(args.points, args.capacity)
     counts = CountIndex.from_index(index)
+    require_finite_coordinates(args.x, args.y, "query point")
     query = Point(args.x, args.y)
 
-    if args.technique == "staircase":
-        estimator = StaircaseEstimator(index, max_k=args.max_k)
+    factories = {
+        "staircase": lambda: StaircaseEstimator(index, max_k=args.max_k),
+        "density": lambda: DensityBasedEstimator(counts),
+        "uniform-model": lambda: UniformModelEstimator(counts),
+    }
+    if args.strict:
+        estimator = factories[args.technique]()
     else:
-        estimator = DensityBasedEstimator(counts)
+        # Degradation order: the requested technique first, then the
+        # cheaper catalog-free tiers.
+        order = [args.technique] + [t for t in factories if t != args.technique]
+        estimator = FallbackSelectEstimator(
+            tiers=[(name, factories[name]) for name in order],
+            guaranteed_bound=float(index.num_blocks),
+        )
     start = time.perf_counter()
     estimate = estimator.estimate(query, args.k)
     elapsed = time.perf_counter() - start
@@ -121,7 +147,15 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
     print(f"estimate:   {estimate:.2f} blocks ({elapsed * 1e6:.1f} us)")
     print(f"actual:     {actual} blocks")
     print(f"error:      {error:.1%}")
+    _print_degradation(estimator)
     return 0
+
+
+def _print_degradation(estimator) -> None:
+    """Surface fallback provenance when a non-primary tier answered."""
+    outcome = getattr(estimator, "last_outcome", None)
+    if outcome is not None and outcome.degraded:
+        print(f"degraded:   {outcome.describe()}")
 
 
 def _cmd_estimate_join(args: argparse.Namespace) -> int:
@@ -129,27 +163,30 @@ def _cmd_estimate_join(args: argparse.Namespace) -> int:
     inner = _load_index(args.inner, args.capacity)
     inner_counts = CountIndex.from_index(inner)
 
-    if args.technique == "catalog-merge":
-        estimator = CatalogMergeEstimator(
+    factories = {
+        "catalog-merge": lambda: CatalogMergeEstimator(
             outer, inner_counts, sample_size=args.sample_size, max_k=args.max_k
-        )
-        estimate_fn = estimator.estimate
-    elif args.technique == "block-sample":
-        estimator = BlockSampleEstimator(
-            outer, inner_counts, sample_size=args.sample_size
-        )
-        estimate_fn = estimator.estimate
-    else:  # virtual-grid
-        grid = VirtualGridEstimator(
+        ),
+        "virtual-grid": lambda: VirtualGridEstimator(
             inner_counts,
             bounds=outer.bounds.union(inner.bounds),
             grid_size=args.grid_size,
             max_k=args.max_k,
+        ).for_outer(outer),
+        "block-sample": lambda: BlockSampleEstimator(
+            outer, inner_counts, sample_size=args.sample_size
+        ),
+    }
+    if args.strict:
+        estimator = factories[args.technique]()
+    else:
+        order = [args.technique] + [t for t in factories if t != args.technique]
+        estimator = FallbackJoinEstimator(
+            tiers=[(name, factories[name]) for name in order],
+            guaranteed_bound=float(outer.num_blocks * inner.num_blocks),
         )
-        bound = grid.for_outer(outer)
-        estimate_fn = bound.estimate
     start = time.perf_counter()
-    estimate = estimate_fn(args.k)
+    estimate = estimator.estimate(args.k)
     elapsed = time.perf_counter() - start
     actual = knn_join_cost(outer, inner, args.k)
     error = abs(estimate - actual) / max(actual, 1)
@@ -157,6 +194,7 @@ def _cmd_estimate_join(args: argparse.Namespace) -> int:
     print(f"estimate:   {estimate:.0f} blocks ({elapsed * 1e3:.2f} ms)")
     print(f"actual:     {actual} blocks")
     print(f"error:      {error:.1%}")
+    _print_degradation(estimator)
     return 0
 
 
@@ -206,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-k", type=int, default=1_024)
     p.add_argument("--capacity", type=int, default=256)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="disable estimator fallback; technique failures become errors",
+    )
     p.set_defaults(func=_cmd_estimate_select)
 
     p = sub.add_parser("estimate-join", help="estimate a k-NN-Join cost")
@@ -221,15 +264,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid-size", type=int, default=10)
     p.add_argument("--max-k", type=int, default=1_024)
     p.add_argument("--capacity", type=int, default=256)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="disable estimator fallback; technique failures become errors",
+    )
     p.set_defaults(func=_cmd_estimate_join)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Estimation-taxonomy failures (malformed input files, invalid
+    queries, corrupt catalogs) exit with code 2 and a one-line message;
+    anything else is a bug and propagates with a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (EstimationError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

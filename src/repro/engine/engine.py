@@ -1,4 +1,12 @@
-"""The engine façade: register tables, explain and execute queries."""
+"""The engine façade: register tables, explain and execute queries.
+
+Every query passes the :mod:`repro.resilience.guards` boundary checks
+before planning: unanswerable inputs (non-finite focal points, bad
+``k``) raise :class:`~repro.resilience.errors.InvalidQueryError`, while
+suspicious-but-answerable ones become notes on the
+:class:`~repro.engine.planner.PlanExplanation` — or errors too, when
+the statistics manager is configured with ``strict=True``.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,11 @@ from repro.engine.planner import PlanExplanation, plan_join, plan_range, plan_se
 from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.stats import StatisticsManager
 from repro.engine.table import SpatialTable
+from repro.resilience.guards import (
+    guard_join_query,
+    guard_range_query,
+    guard_select_query,
+)
 
 Query = KnnSelectQuery | KnnJoinQuery | RangeQuery
 
@@ -45,10 +58,36 @@ class SpatialEngine:
         return operator.execute(), explanation
 
     def _plan(self, query: Query):
+        notes = self._guard(query)
         if isinstance(query, KnnSelectQuery):
-            return plan_select(self.stats, query)
+            operator, explanation = plan_select(self.stats, query)
+        elif isinstance(query, KnnJoinQuery):
+            operator, explanation = plan_join(self.stats, query)
+        elif isinstance(query, RangeQuery):
+            operator, explanation = plan_range(self.stats, query)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+        explanation.notes.extend(notes)
+        return operator, explanation
+
+    def _guard(self, query: Query) -> list[str]:
+        """Boundary-validate a query; returns notes for the explanation.
+
+        Unknown table names raise ``KeyError`` (the registration bug),
+        unanswerable inputs raise
+        :class:`~repro.resilience.errors.InvalidQueryError`, and
+        suspicious ones raise only under ``strict``.
+        """
+        strict = self.stats.strict
+        if isinstance(query, KnnSelectQuery):
+            table = self.stats.table(query.table)
+            bounds = table.index.bounds if table.n_rows else None
+            return guard_select_query(query, table.n_rows, bounds, strict)
         if isinstance(query, KnnJoinQuery):
-            return plan_join(self.stats, query)
+            outer = self.stats.table(query.outer)
+            inner = self.stats.table(query.inner)
+            return guard_join_query(query, outer.n_rows, inner.n_rows, strict)
         if isinstance(query, RangeQuery):
-            return plan_range(self.stats, query)
-        raise TypeError(f"unsupported query type {type(query).__name__}")
+            table = self.stats.table(query.table)
+            return guard_range_query(query, table.n_rows, strict)
+        return []

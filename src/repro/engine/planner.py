@@ -51,12 +51,21 @@ class PlanExplanation:
         alternatives: ``{operator name: estimated block cost}``.
         effective_k: The ``k'`` the costs were computed at.
         selectivity: The combined selectivity that produced ``k'``.
+        estimator_tier: Which fallback tier produced the cost estimate
+            ("" when costing needed no estimator, e.g. range scans).
+        degraded: Whether a non-primary tier (or the guaranteed bound)
+            had to answer.
+        notes: Planning diagnostics — input-guard observations and
+            fallback degradation provenance.
     """
 
     chosen: str
     alternatives: dict[str, float] = field(default_factory=dict)
     effective_k: int = 0
     selectivity: float = 1.0
+    estimator_tier: str = ""
+    degraded: bool = False
+    notes: list[str] = field(default_factory=list)
 
     def cost_of(self, operator: str) -> float:
         """Estimated cost of one alternative.
@@ -71,7 +80,27 @@ class PlanExplanation:
         for name, cost in sorted(self.alternatives.items(), key=lambda kv: kv[1]):
             marker = "->" if name == self.chosen else "  "
             lines.append(f"  {marker} {name}: {cost:.1f} blocks")
+        if self.estimator_tier:
+            status = "degraded" if self.degraded else "primary"
+            lines.append(f"  estimator: {self.estimator_tier} ({status})")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         return "\n".join(lines)
+
+
+def _record_provenance(explanation: PlanExplanation, estimator) -> None:
+    """Copy a fallback chain's last outcome onto the explanation.
+
+    Raw estimators (``fallback=False``) have no ``last_outcome`` and
+    leave the explanation untouched.
+    """
+    outcome = getattr(estimator, "last_outcome", None)
+    if outcome is None:
+        return
+    explanation.estimator_tier = outcome.tier
+    explanation.degraded = explanation.degraded or outcome.degraded
+    if outcome.degraded:
+        explanation.notes.append(outcome.describe())
 
 
 def plan_select(
@@ -94,7 +123,7 @@ def plan_select(
     effective_k = int(math.ceil(query.k / sigma))
 
     cost_filter = float(table.index.num_blocks)
-    estimator = stats.select_estimator(query.table)
+    estimator = stats.select_estimator_for_planning(query.table)
     cost_incremental = estimator.estimate(query.query, effective_k)
     # Browsing can never scan more than every block once.
     cost_incremental = min(cost_incremental, cost_filter)
@@ -116,6 +145,7 @@ def plan_select(
         effective_k=effective_k,
         selectivity=sigma,
     )
+    _record_provenance(explanation, estimator)
     # Ties resolve toward the earlier entry; the full scan's sequential
     # pattern beats random-access browsing at equal block counts, and
     # the pruned browser dominates the plain one whenever applicable.
@@ -177,7 +207,7 @@ def plan_join(
     sigma = min(max(sigma, 1.0 / max(inner.n_rows, 1)), 1.0)
     effective_k = int(math.ceil(query.k / sigma))
 
-    join_estimator = stats.join_estimator(query.outer, query.inner)
+    join_estimator = stats.join_estimator_for_planning(query.outer, query.inner)
     try:
         cost_join = join_estimator.estimate(min(effective_k, stats.max_k))
         if effective_k > stats.max_k:
@@ -188,9 +218,11 @@ def plan_join(
                 float(outer.index.num_blocks * inner.index.num_blocks),
             )
     except CatalogLookupError:
+        # Raw-estimator path only; the fallback chain absorbs lookup
+        # failures internally and degrades instead.
         cost_join = float(outer.index.num_blocks * inner.index.num_blocks)
 
-    select_estimator = stats.select_estimator(query.inner)
+    select_estimator = stats.select_estimator_for_planning(query.inner)
     rng = np.random.default_rng(0)
     sample = rng.integers(0, max(outer.n_rows, 1), size=min(SELECT_COST_SAMPLE, max(outer.n_rows, 1)))
     per_select = [
@@ -212,6 +244,8 @@ def plan_join(
     )
     if cost_join <= cost_selects:
         explanation.chosen = LocalityJoinOperator.name
+        _record_provenance(explanation, join_estimator)
         return LocalityJoinOperator(outer, inner, query, selectivity=sigma), explanation
     explanation.chosen = PerPointSelectsOperator.name
+    _record_provenance(explanation, select_estimator)
     return PerPointSelectsOperator(outer, inner, query), explanation

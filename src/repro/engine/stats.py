@@ -16,24 +16,58 @@ that state for the engine:
 
 Everything is built on demand and cached, mirroring how a DBMS
 materializes statistics on first use.
+
+The manager also owns the engine's *resilience policy*: planning goes
+through per-relation fallback chains
+(:meth:`StatisticsManager.select_estimator_for_planning`) that degrade
+Staircase → Density → Uniform-Model (and configured join technique →
+the other technique → Block-Sample) instead of failing, and catalogs
+built over a mutated index are rebuilt or rejected per
+``staleness_policy``.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Literal
+from typing import Callable, Literal
 
 from repro.catalog import CatalogStore
 from repro.engine.expressions import Predicate
 from repro.engine.table import SpatialTable
-from repro.estimators.base import JoinCostEstimator
+from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
+from repro.estimators.block_sample import BlockSampleEstimator
 from repro.estimators.catalog_merge import CatalogMergeEstimator
 from repro.estimators.density import DensityBasedEstimator
 from repro.estimators.staircase import StaircaseEstimator
+from repro.estimators.uniform_model import UniformModelEstimator
 from repro.estimators.virtual_grid import VirtualGridEstimator
-from repro.geometry import Rect
+from repro.geometry import Point, Rect
+from repro.resilience.errors import StaleCatalogError
+from repro.resilience.fallback import FallbackJoinEstimator, FallbackSelectEstimator
 
 JoinTechnique = Literal["catalog-merge", "virtual-grid"]
+StalenessPolicy = Literal["rebuild", "raise"]
+
+
+class _ManagedSelectTier(SelectCostEstimator):
+    """A chain tier that re-resolves its estimator through the manager.
+
+    The fallback chain caches tier instances, but the manager's
+    staleness policy must apply on *every* call (a catalog can go stale
+    between two estimates).  Routing each call through the manager
+    accessor keeps the rebuild/raise decision in one place.
+    """
+
+    def __init__(self, get_estimator: Callable[[], SelectCostEstimator]) -> None:
+        self._get = get_estimator
+
+    def estimate(self, query: Point, k: int) -> float:
+        return self._get().estimate(query, k)
+
+    def storage_bytes(self) -> int:
+        # The underlying estimator is owned (and its storage counted)
+        # by the manager, not by the chain.
+        return 0
 
 
 class StatisticsManager:
@@ -47,6 +81,21 @@ class StatisticsManager:
         grid_size: Virtual-grid resolution.
         world_bounds: Fixed universe for virtual grids (must cover every
             relation).
+        fallback: Whether planning uses the degrading fallback chains
+            (the default) or the raw primary estimators, whose failures
+            then propagate (``--strict`` semantics).
+        strict: Treat suspicious-but-answerable queries (``k`` larger
+            than the relation, far-outside focal points, zero-area
+            regions) as errors instead of planning notes.
+        staleness_policy: What to do when a cached Staircase catalog is
+            found stale — ``"rebuild"`` (drop and rebuild transparently)
+            or ``"raise"`` (surface :class:`StaleCatalogError`; the
+            fallback chain then degrades to the catalog-free tiers).
+        breaker_threshold: Consecutive failures that open a fallback
+            tier's circuit breaker.
+        breaker_cooldown: Calls a tripped tier is skipped for.
+        estimate_time_budget: Per-call wall-clock budget (seconds) for
+            one fallback tier; ``None`` disables it.
     """
 
     def __init__(
@@ -56,20 +105,36 @@ class StatisticsManager:
         join_sample_size: int = 400,
         grid_size: int = 10,
         world_bounds: Rect | None = None,
+        fallback: bool = True,
+        strict: bool = False,
+        staleness_policy: StalenessPolicy = "rebuild",
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 16,
+        estimate_time_budget: float | None = None,
     ) -> None:
         if join_technique not in ("catalog-merge", "virtual-grid"):
             raise ValueError(f"unknown join technique {join_technique!r}")
+        if staleness_policy not in ("rebuild", "raise"):
+            raise ValueError(f"unknown staleness policy {staleness_policy!r}")
         self.max_k = max_k
         self.join_technique: JoinTechnique = join_technique
         self.join_sample_size = join_sample_size
         self.grid_size = grid_size
         self.world_bounds = world_bounds
+        self.fallback = fallback
+        self.strict = strict
+        self.staleness_policy: StalenessPolicy = staleness_policy
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.estimate_time_budget = estimate_time_budget
         self._tables: dict[str, SpatialTable] = {}
         self._select_estimators: dict[str, StaircaseEstimator] = {}
         self._density_estimators: dict[str, DensityBasedEstimator] = {}
         self._pair_estimators: dict[tuple[str, str], JoinCostEstimator] = {}
         self._grid_estimators: dict[str, VirtualGridEstimator] = {}
         self._selectivities: dict[tuple[str, str], float] = {}
+        self._resilient_selects: dict[str, FallbackSelectEstimator] = {}
+        self._resilient_joins: dict[tuple[str, str], FallbackJoinEstimator] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -80,9 +145,15 @@ class StatisticsManager:
         self._select_estimators.pop(table.name, None)
         self._density_estimators.pop(table.name, None)
         self._grid_estimators.pop(table.name, None)
+        self._resilient_selects.pop(table.name, None)
         self._pair_estimators = {
             pair: est
             for pair, est in self._pair_estimators.items()
+            if table.name not in pair
+        }
+        self._resilient_joins = {
+            pair: est
+            for pair, est in self._resilient_joins.items()
             if table.name not in pair
         }
         self._selectivities = {
@@ -112,7 +183,25 @@ class StatisticsManager:
     # Estimators (lazy, cached)
     # ------------------------------------------------------------------
     def select_estimator(self, name: str) -> StaircaseEstimator:
-        """The Staircase estimator of a relation (built on first use)."""
+        """The Staircase estimator of a relation (built on first use).
+
+        A cached estimator whose catalogs have gone stale (the table's
+        index mutated since the build) is rebuilt transparently under
+        the default ``staleness_policy="rebuild"``.
+
+        Raises:
+            StaleCatalogError: Under ``staleness_policy="raise"`` when
+                the cached catalogs are stale.
+        """
+        cached = self._select_estimators.get(name)
+        if cached is not None and cached.is_stale:
+            if self.staleness_policy == "raise":
+                raise StaleCatalogError(
+                    f"catalogs of table {name!r} were built at data "
+                    f"generation {cached.built_at_generation}; the index "
+                    f"has since mutated (policy: raise)"
+                )
+            del self._select_estimators[name]
         if name not in self._select_estimators:
             table = self.table(name)
             self._select_estimators[name] = StaircaseEstimator(
@@ -132,21 +221,122 @@ class StatisticsManager:
         """The join-cost estimator of an ordered relation pair."""
         pair = (outer, inner)
         if pair not in self._pair_estimators:
-            outer_table = self.table(outer)
-            inner_table = self.table(inner)
-            if self.join_technique == "catalog-merge":
-                estimator: JoinCostEstimator = CatalogMergeEstimator(
-                    outer_table.index,
-                    inner_table.count_index,
-                    sample_size=self.join_sample_size,
-                    max_k=self.max_k,
-                )
-            else:
-                estimator = self._virtual_grid(inner).for_outer(
-                    outer_table.count_index
-                )
-            self._pair_estimators[pair] = estimator
+            self._pair_estimators[pair] = self._build_join_estimator(
+                outer, inner, self.join_technique
+            )
         return self._pair_estimators[pair]
+
+    def _build_join_estimator(
+        self, outer: str, inner: str, technique: JoinTechnique
+    ) -> JoinCostEstimator:
+        """Build a join estimator with an explicit technique choice.
+
+        The fallback chain needs the *other* technique as its secondary
+        tier regardless of which one is configured as primary.
+        """
+        outer_table = self.table(outer)
+        inner_table = self.table(inner)
+        if technique == "catalog-merge":
+            return CatalogMergeEstimator(
+                outer_table.index,
+                inner_table.count_index,
+                sample_size=self.join_sample_size,
+                max_k=self.max_k,
+            )
+        return self._virtual_grid(inner).for_outer(outer_table.count_index)
+
+    # ------------------------------------------------------------------
+    # Resilient estimators: what the planner actually talks to
+    # ------------------------------------------------------------------
+    def resilient_select_estimator(self, name: str) -> FallbackSelectEstimator:
+        """The relation's select fallback chain (built on first use).
+
+        Tiers, in degradation order: Staircase (catalog-backed, routed
+        through :meth:`select_estimator` so the staleness policy applies
+        per call) → Density (Count-Index only) → Uniform-Model (four
+        scalars) → the full-scan block count as the guaranteed bound.
+
+        Raises:
+            KeyError: For unknown table names.
+        """
+        if name not in self._resilient_selects:
+            self.table(name)  # unknown names fail fast, as KeyError
+            self._resilient_selects[name] = FallbackSelectEstimator(
+                tiers=[
+                    (
+                        "staircase",
+                        lambda: _ManagedSelectTier(
+                            lambda: self.select_estimator(name)
+                        ),
+                    ),
+                    ("density", lambda: self.density_estimator(name)),
+                    (
+                        "uniform-model",
+                        lambda: UniformModelEstimator(self.table(name).count_index),
+                    ),
+                ],
+                guaranteed_bound=lambda: float(self.table(name).index.num_blocks),
+                breaker_threshold=self.breaker_threshold,
+                breaker_cooldown=self.breaker_cooldown,
+                time_budget_seconds=self.estimate_time_budget,
+            )
+        return self._resilient_selects[name]
+
+    def resilient_join_estimator(self, outer: str, inner: str) -> FallbackJoinEstimator:
+        """The pair's join fallback chain (built on first use).
+
+        Tiers: the configured technique → the other catalog technique →
+        Block-Sample (no catalogs, query-time sampling) → the all-pairs
+        block product as the guaranteed bound.
+
+        Raises:
+            KeyError: For unknown table names.
+        """
+        pair = (outer, inner)
+        if pair not in self._resilient_joins:
+            self.table(outer)
+            self.table(inner)
+            primary: JoinTechnique = self.join_technique
+            secondary: JoinTechnique = (
+                "virtual-grid" if primary == "catalog-merge" else "catalog-merge"
+            )
+            self._resilient_joins[pair] = FallbackJoinEstimator(
+                tiers=[
+                    (primary, lambda: self.join_estimator(outer, inner)),
+                    (
+                        secondary,
+                        lambda: self._build_join_estimator(outer, inner, secondary),
+                    ),
+                    (
+                        "block-sample",
+                        lambda: BlockSampleEstimator(
+                            self.table(outer).index,
+                            self.table(inner).count_index,
+                            sample_size=self.join_sample_size,
+                        ),
+                    ),
+                ],
+                guaranteed_bound=lambda: float(
+                    self.table(outer).index.num_blocks
+                    * self.table(inner).index.num_blocks
+                ),
+                breaker_threshold=self.breaker_threshold,
+                breaker_cooldown=self.breaker_cooldown,
+                time_budget_seconds=self.estimate_time_budget,
+            )
+        return self._resilient_joins[pair]
+
+    def select_estimator_for_planning(self, name: str) -> SelectCostEstimator:
+        """What the planner costs selects with (chain, or raw if disabled)."""
+        if self.fallback:
+            return self.resilient_select_estimator(name)
+        return self.select_estimator(name)
+
+    def join_estimator_for_planning(self, outer: str, inner: str) -> JoinCostEstimator:
+        """What the planner costs joins with (chain, or raw if disabled)."""
+        if self.fallback:
+            return self.resilient_join_estimator(outer, inner)
+        return self.join_estimator(outer, inner)
 
     def _virtual_grid(self, inner: str) -> VirtualGridEstimator:
         """One shared grid catalog set per inner relation."""
@@ -217,8 +407,11 @@ class StatisticsManager:
                     self._tables[name].index, store
                 )
                 loaded.append(name)
-            except ValueError:
-                continue  # stale store: rebuild lazily on next use
+            except (ValueError, StaleCatalogError):
+                # Corrupt bytes (CatalogCorruptError is a ValueError) or
+                # a store built at an older data generation: skip it and
+                # rebuild lazily on next use.
+                continue
         return loaded
 
     def total_catalog_bytes(self) -> int:

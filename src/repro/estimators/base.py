@@ -65,6 +65,14 @@ class JoinCostEstimator(abc.ABC):
 
 
 def validate_k(k: int) -> None:
-    """Common argument check shared by all estimators."""
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+    """Common argument check shared by all estimators.
+
+    Raises:
+        InvalidQueryError: (a ``ValueError``) if ``k`` is not a positive
+            integer.
+    """
+    # Imported here, not at module level: resilience.fallback subclasses
+    # this module's ABCs, so a module-level import would be circular.
+    from repro.resilience.guards import require_valid_k
+
+    require_valid_k(k)

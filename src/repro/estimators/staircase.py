@@ -31,13 +31,15 @@ from typing import Literal, Sequence
 
 from repro.catalog import IntervalCatalog, catalog_storage_bytes, merge_max
 from repro.catalog.store import CatalogStore
-from repro.estimators.base import SelectCostEstimator, validate_k
+from repro.estimators.base import SelectCostEstimator
 from repro.estimators.density import DensityBasedEstimator
 from repro.geometry import Point, Rect
 from repro.index.base import Block
 from repro.index.count_index import CountIndex
 from repro.index.quadtree import Quadtree
 from repro.knn.distance_browsing import select_cost_profile
+from repro.resilience.errors import StaleCatalogError
+from repro.resilience.guards import guard_estimate_inputs
 
 #: The paper maintains catalogs up to k = 10,000; the reproduction's
 #: default is scaled with the dataset (see DESIGN.md §2).
@@ -115,6 +117,10 @@ class StaircaseEstimator(SelectCostEstimator):
         self._aux = aux_index
         self._variant: Variant = variant
         self._max_k = max_k
+        self._data_index = data_index
+        #: Data generation the catalogs were built at (0 for immutable
+        #: indexes, which never advance).
+        self.built_at_generation = int(getattr(data_index, "data_generation", 0))
         self._count_index = CountIndex.from_index(data_index)
         self._fallback = DensityBasedEstimator(self._count_index)
         blocks = data_index.blocks
@@ -155,10 +161,21 @@ class StaircaseEstimator(SelectCostEstimator):
                 never built.
 
         Raises:
+            InvalidQueryError: On a non-finite focal point or ``k < 1``.
+            StaleCatalogError: If the underlying index mutated after the
+                catalogs were built (answering would use dead
+                statistics; rebuild or use
+                :class:`~repro.estimators.maintenance.MaintainedStaircaseEstimator`).
             ValueError: If a ``"center+corners"`` estimate is requested
-                from a Center-Only estimator, or ``k < 1``.
+                from a Center-Only estimator.
         """
-        validate_k(k)
+        guard_estimate_inputs(query, k)
+        if self.is_stale:
+            raise StaleCatalogError(
+                f"catalogs were built at data generation "
+                f"{self.built_at_generation}, the index is now at "
+                f"{getattr(self._data_index, 'data_generation', 0)}"
+            )
         variant = self._variant if variant is None else variant
         if variant == "center+corners" and self._variant == "center":
             raise ValueError("corner catalogs were not built; construct with center+corners")
@@ -195,6 +212,7 @@ class StaircaseEstimator(SelectCostEstimator):
                 "variant": self._variant,
                 "max_k": str(self._max_k),
                 "n_leaves": str(len(self._aux.leaves)),
+                "data_generation": str(self.built_at_generation),
             }
         )
         for leaf_id, catalog in self._center_catalogs.items():
@@ -218,9 +236,18 @@ class StaircaseEstimator(SelectCostEstimator):
         Raises:
             ValueError: If the store does not describe a Staircase
                 estimator matching the given auxiliary index.
+            StaleCatalogError: If the store was built at an older data
+                generation than the index currently reports.
         """
         if store.metadata.get("technique") != "staircase":
             raise ValueError("store does not hold Staircase catalogs")
+        current_generation = int(getattr(data_index, "data_generation", 0))
+        stored_generation = store.metadata.get("data_generation")
+        if stored_generation is not None and int(stored_generation) != current_generation:
+            raise StaleCatalogError(
+                f"store was built at data generation {stored_generation}, "
+                f"the index is now at {current_generation}"
+            )
         if aux_index is None:
             if not isinstance(data_index, Quadtree):
                 raise ValueError(
@@ -238,6 +265,8 @@ class StaircaseEstimator(SelectCostEstimator):
         estimator._aux = aux_index
         estimator._variant = store.metadata["variant"]
         estimator._max_k = int(store.metadata["max_k"])
+        estimator._data_index = data_index
+        estimator.built_at_generation = current_generation
         estimator._count_index = CountIndex.from_index(data_index)
         estimator._fallback = DensityBasedEstimator(estimator._count_index)
         estimator._center_catalogs = {}
@@ -264,6 +293,16 @@ class StaircaseEstimator(SelectCostEstimator):
     def max_k(self) -> int:
         """Largest k served from catalogs."""
         return self._max_k
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the data index mutated after the catalogs were built.
+
+        Always ``False`` over immutable indexes; over a
+        :class:`~repro.index.mutable_quadtree.MutableQuadtree` it flips
+        as soon as an insert or delete lands.
+        """
+        return int(getattr(self._data_index, "data_generation", 0)) != self.built_at_generation
 
     def storage_bytes(self) -> int:
         """Total serialized size of all maintained catalogs."""

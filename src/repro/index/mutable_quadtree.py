@@ -87,6 +87,7 @@ class MutableQuadtree(SpatialIndex):
         self._blocks_cache: list[Block] | None = None
         self._dirty_regions: list[Rect] = []
         self._mutations_since_clear = 0
+        self._data_generation = 0
         for x, y in pts:
             self.insert(float(x), float(y))
         # The bulk load is construction, not "updates" to track.
@@ -174,6 +175,7 @@ class MutableQuadtree(SpatialIndex):
         self._blocks_cache = None
         self._dirty_regions.append(region)
         self._mutations_since_clear += 1
+        self._data_generation += 1
 
     # ------------------------------------------------------------------
     # Update tracking
@@ -187,6 +189,17 @@ class MutableQuadtree(SpatialIndex):
     def mutations_since_clear(self) -> int:
         """Number of tracked mutations since the last clear."""
         return self._mutations_since_clear
+
+    @property
+    def data_generation(self) -> int:
+        """Monotone mutation counter — never reset by :meth:`clear_dirty`.
+
+        Statistics consumers snapshot it at build time; a catalog whose
+        build-time generation no longer matches the index's current one
+        was built over dead data and must be rebuilt or flagged (see
+        :class:`~repro.resilience.errors.StaleCatalogError`).
+        """
+        return self._data_generation
 
     def clear_dirty(self) -> None:
         """Forget tracked changes (after statistics refresh)."""

@@ -1,0 +1,59 @@
+"""The estimation-layer error taxonomy.
+
+The paper's value proposition is cost estimation *without touching the
+data* — which in a production optimizer means an estimator failure must
+be a typed, catchable event, never a raw ``ValueError`` or
+``struct.error`` leaking out of a codec or a degenerate computation.
+Every failure the estimation layer can signal derives from
+:class:`EstimationError`, so callers (the planner's fallback chains, the
+CLI, user code) can catch one type and degrade deliberately.
+
+Hierarchy::
+
+    EstimationError
+    ├── InvalidQueryError (also ValueError)   — bad inputs at the boundary
+    ├── CatalogCorruptError (also ValueError) — damaged persisted catalogs
+    ├── StaleCatalogError                     — catalogs older than the data
+    └── BudgetExceededError                   — per-call time budget blown
+
+``InvalidQueryError`` and ``CatalogCorruptError`` double as
+``ValueError`` so that pre-taxonomy call sites (and tests) catching
+``ValueError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class EstimationError(Exception):
+    """Base class for every failure of the cost-estimation layer."""
+
+
+class InvalidQueryError(EstimationError, ValueError):
+    """A query or data input failed boundary validation.
+
+    Raised for NaN/infinite coordinates, malformed data rows, ``k < 1``,
+    degenerate query regions, and similar inputs that can never produce
+    a meaningful estimate.
+    """
+
+
+class CatalogCorruptError(EstimationError, ValueError):
+    """Persisted catalog bytes are damaged.
+
+    Raised on truncation, bad magic/version, entry-count mismatches, and
+    checksum failures.  A corrupt catalog must never deserialize into a
+    plausible-but-wrong catalog silently.
+    """
+
+
+class StaleCatalogError(EstimationError):
+    """Catalogs were built before the underlying data changed.
+
+    Raised when an estimator's build-time data generation no longer
+    matches the index it answers for; callers rebuild or degrade instead
+    of answering from dead statistics.
+    """
+
+
+class BudgetExceededError(EstimationError):
+    """An estimator exceeded its per-call time budget."""

@@ -1,0 +1,339 @@
+"""Estimator fallback chains with health tracking.
+
+A wrong or crashing estimator must never take down query planning.
+``FallbackSelectEstimator`` and ``FallbackJoinEstimator`` wrap an
+ordered list of estimation *tiers* (e.g. Staircase → Density →
+Uniform-Model) and degrade through them:
+
+* a tier that raises, returns a non-finite/negative estimate, or blows
+  the per-call time budget is recorded as failed and the next tier is
+  tried;
+* per-tier health is tracked with a circuit breaker — after
+  ``breaker_threshold`` *consecutive* failures a tier is skipped for
+  ``breaker_cooldown`` calls, so a persistently broken estimator stops
+  costing a failed attempt (and its latency) on every query;
+* if every tier fails, the chain answers with a cheap **guaranteed
+  bound** instead of raising — the full-scan block count for selects,
+  the all-pairs block product for joins — following the
+  bounds-over-best-effort principle of the I/O-lower-bound literature:
+  degrade toward a correct bound, not toward an exception;
+* every call records a :class:`FallbackOutcome` naming the tier that
+  answered and what happened to the tiers above it — the provenance the
+  planner copies onto :class:`~repro.engine.planner.PlanExplanation`.
+
+Tiers are supplied as ``(name, factory)`` pairs and built lazily: a
+tier whose *construction* crashes (degenerate blocks, empty relations)
+counts as a failed attempt exactly like a crashing ``estimate()``, and
+the healthy tiers below it never pay its build cost unless needed.
+
+When the primary tier is healthy the chain is transparent: the output
+equals the primary estimator's output exactly (the zero-overhead-when-
+healthy invariant, property-tested in ``tests/test_resilience_fallback``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
+from repro.geometry import Point
+from repro.resilience.errors import BudgetExceededError, EstimationError
+from repro.resilience.guards import guard_estimate_inputs, require_valid_k
+
+#: Consecutive failures before a tier's circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 3
+#: Calls a tier is skipped for once its breaker has opened.
+DEFAULT_BREAKER_COOLDOWN = 16
+
+#: Terminal pseudo-tier name used when every real tier failed.
+GUARANTEED_BOUND_TIER = "guaranteed-bound"
+
+
+@dataclass(frozen=True, slots=True)
+class TierAttempt:
+    """One tier's part in answering (or failing to answer) a call."""
+
+    tier: str
+    outcome: str  # "ok", "skipped (circuit open)", or an error summary
+
+
+@dataclass
+class FallbackOutcome:
+    """Provenance of one fallback-chain estimate.
+
+    Attributes:
+        tier: Name of the tier that produced the answer.
+        degraded: Whether a non-primary tier (or the guaranteed bound)
+            answered.
+        attempts: Per-tier record, in chain order, up to and including
+            the answering tier.
+    """
+
+    tier: str
+    degraded: bool
+    attempts: list[TierAttempt] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line human-readable provenance."""
+        if not self.degraded:
+            return f"answered by primary tier {self.tier!r}"
+        failed = "; ".join(
+            f"{a.tier}: {a.outcome}" for a in self.attempts if a.tier != self.tier
+        )
+        return f"degraded to tier {self.tier!r} ({failed})"
+
+
+class _TierHealth:
+    """Failure counters and circuit-breaker state for one tier."""
+
+    __slots__ = ("consecutive_failures", "cooldown_remaining", "total_failures", "total_calls")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.cooldown_remaining = 0
+        self.total_failures = 0
+        self.total_calls = 0
+
+    @property
+    def circuit_open(self) -> bool:
+        return self.cooldown_remaining > 0
+
+    def record_success(self) -> None:
+        self.total_calls += 1
+        self.consecutive_failures = 0
+
+    def record_failure(self, threshold: int, cooldown: int) -> None:
+        self.total_calls += 1
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= threshold:
+            self.cooldown_remaining = cooldown
+
+    def tick_skip(self) -> None:
+        self.cooldown_remaining -= 1
+
+
+class _FallbackChain:
+    """Shared machinery of the select and join fallback estimators."""
+
+    def __init__(
+        self,
+        tiers: Sequence[tuple[str, Callable[[], object]]],
+        guaranteed_bound: Callable[[], float] | float,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: int = DEFAULT_BREAKER_COOLDOWN,
+        time_budget_seconds: float | None = None,
+    ) -> None:
+        if not tiers:
+            raise ValueError("a fallback chain needs at least one tier")
+        if breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
+        if breaker_cooldown < 1:
+            raise ValueError(f"breaker_cooldown must be >= 1, got {breaker_cooldown}")
+        if time_budget_seconds is not None and time_budget_seconds <= 0:
+            raise ValueError(f"time_budget_seconds must be positive, got {time_budget_seconds}")
+        seen: set[str] = set()
+        for name, __ in tiers:
+            if name in seen:
+                raise ValueError(f"duplicate tier name {name!r}")
+            seen.add(name)
+        self._tiers: list[tuple[str, Callable[[], object]]] = list(tiers)
+        self._instances: dict[str, object] = {}
+        self._health: dict[str, _TierHealth] = {name: _TierHealth() for name, __ in tiers}
+        self._bound = guaranteed_bound
+        self._threshold = breaker_threshold
+        self._cooldown = breaker_cooldown
+        self._budget = time_budget_seconds
+        #: Provenance of the most recent :meth:`estimate` call.
+        self.last_outcome: FallbackOutcome | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection and the fault-injection seam
+    # ------------------------------------------------------------------
+    @property
+    def tier_names(self) -> tuple[str, ...]:
+        """Chain order, primary first (excludes the guaranteed bound)."""
+        return tuple(name for name, __ in self._tiers)
+
+    @property
+    def primary_tier(self) -> str:
+        """Name of the first (preferred) tier."""
+        return self._tiers[0][0]
+
+    def health(self, tier: str) -> _TierHealth:
+        """The health record of one tier (for monitoring and tests)."""
+        return self._health[tier]
+
+    def tier_instance(self, tier: str) -> object:
+        """Build (if needed) and return one tier's estimator."""
+        if tier not in self._instances:
+            factory = dict(self._tiers)[tier]
+            self._instances[tier] = factory()
+        return self._instances[tier]
+
+    def wrap_tier(self, tier: str, wrap: Callable[[object], object]) -> None:
+        """Replace a tier's estimator with ``wrap(estimator)``.
+
+        The seam the fault-injection harness uses: wrap the built
+        instance in a :class:`~repro.resilience.faultinject` proxy
+        without the chain knowing.
+        """
+        self._instances[tier] = wrap(self.tier_instance(tier))
+
+    def reset_health(self) -> None:
+        """Clear all failure counters and close every circuit breaker."""
+        self._health = {name: _TierHealth() for name, __ in self._tiers}
+
+    # ------------------------------------------------------------------
+    # The chain
+    # ------------------------------------------------------------------
+    def _run(self, call: Callable[[object], float]) -> float:
+        """Try each tier in order; fall through to the guaranteed bound."""
+        attempts: list[TierAttempt] = []
+        for position, (name, __) in enumerate(self._tiers):
+            health = self._health[name]
+            if health.circuit_open:
+                health.tick_skip()
+                attempts.append(TierAttempt(name, "skipped (circuit open)"))
+                continue
+            start = time.perf_counter()
+            try:
+                estimator = self.tier_instance(name)
+                value = float(call(estimator))
+            except EstimationError as exc:
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(TierAttempt(name, f"{type(exc).__name__}: {exc}"))
+                continue
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(TierAttempt(name, f"{type(exc).__name__}: {exc}"))
+                continue
+            elapsed = time.perf_counter() - start
+            if self._budget is not None and elapsed > self._budget:
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(
+                    TierAttempt(
+                        name,
+                        f"BudgetExceededError: took {elapsed:.3f}s "
+                        f"(budget {self._budget:.3f}s)",
+                    )
+                )
+                continue
+            if not math.isfinite(value) or value < 0.0:
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(TierAttempt(name, f"invalid estimate {value!r}"))
+                continue
+            health.record_success()
+            attempts.append(TierAttempt(name, "ok"))
+            self.last_outcome = FallbackOutcome(
+                tier=name, degraded=position > 0, attempts=attempts
+            )
+            return value
+        bound = float(self._bound() if callable(self._bound) else self._bound)
+        attempts.append(TierAttempt(GUARANTEED_BOUND_TIER, "ok"))
+        self.last_outcome = FallbackOutcome(
+            tier=GUARANTEED_BOUND_TIER, degraded=True, attempts=attempts
+        )
+        return bound
+
+    # ------------------------------------------------------------------
+    # Shared estimator bookkeeping
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Storage of every tier built so far."""
+        return sum(
+            est.storage_bytes()
+            for est in self._instances.values()
+            if hasattr(est, "storage_bytes")
+        )
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        """Preprocessing spent by every tier built so far."""
+        return sum(
+            getattr(est, "preprocessing_seconds", 0.0)
+            for est in self._instances.values()
+        )
+
+    @preprocessing_seconds.setter
+    def preprocessing_seconds(self, value: float) -> None:
+        # The SelectCostEstimator ABC declares a class attribute; the
+        # chain derives the value from its tiers, so assignment is a no-op.
+        pass
+
+
+class FallbackSelectEstimator(_FallbackChain, SelectCostEstimator):
+    """A k-NN-Select estimator that degrades through a tier chain.
+
+    Args:
+        tiers: Ordered ``(name, factory)`` pairs; each factory builds a
+            :class:`~repro.estimators.base.SelectCostEstimator` lazily.
+        guaranteed_bound: The terminal answer when every tier fails —
+            for selects, the relation's block count (a full scan never
+            costs more).  A float or a zero-argument callable.
+        breaker_threshold: Consecutive failures that open a tier's
+            circuit breaker.
+        breaker_cooldown: Calls a tier is skipped once its breaker opens.
+        time_budget_seconds: Per-call budget; a tier exceeding it is
+            treated as failed (``None`` disables the budget).
+    """
+
+    def estimate(self, query: Point, k: int) -> float:
+        """Estimate via the first healthy tier; never raises for
+        estimator-internal failures (boundary validation still applies).
+
+        Raises:
+            InvalidQueryError: On a non-finite focal point or ``k < 1``
+                — invalid inputs are the caller's bug, not a failure to
+                degrade around.
+        """
+        guard_estimate_inputs(query, k)
+        return self._run(lambda est: est.estimate(query, k))
+
+
+class FallbackJoinEstimator(_FallbackChain, JoinCostEstimator):
+    """A k-NN-Join estimator that degrades through a tier chain.
+
+    Args:
+        tiers: Ordered ``(name, factory)`` pairs; each factory builds a
+            :class:`~repro.estimators.base.JoinCostEstimator` lazily.
+        guaranteed_bound: The terminal answer when every tier fails —
+            for joins, ``outer blocks x inner blocks`` (every outer
+            block scanning the whole inner relation).
+        breaker_threshold: Consecutive failures that open a tier's
+            circuit breaker.
+        breaker_cooldown: Calls a tier is skipped once its breaker opens.
+        time_budget_seconds: Per-call budget; a tier exceeding it is
+            treated as failed (``None`` disables the budget).
+    """
+
+    def estimate(self, k: int) -> float:
+        """Estimate via the first healthy tier.
+
+        Raises:
+            InvalidQueryError: If ``k < 1``.
+        """
+        require_valid_k(k)
+        return self._run(lambda est: est.estimate(k))
+
+
+def budget_check(start: float, budget: float | None, what: str = "estimation") -> None:
+    """Raise when ``budget`` seconds have elapsed since ``start``.
+
+    A cooperative checkpoint long-running estimators can call between
+    phases so a budget violation surfaces *during* the call instead of
+    only after it returns.
+
+    Raises:
+        BudgetExceededError: When the elapsed time exceeds the budget.
+    """
+    if budget is None:
+        return
+    elapsed = time.perf_counter() - start
+    if elapsed > budget:
+        raise BudgetExceededError(
+            f"{what} exceeded its time budget: {elapsed:.3f}s > {budget:.3f}s"
+        )

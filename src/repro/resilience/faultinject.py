@@ -1,0 +1,187 @@
+"""Deterministic fault injection for estimators.
+
+The resilience layer is only trustworthy if its failure paths are
+exercised on purpose.  This module wraps any select or join estimator in
+a proxy that — on a *seeded, reproducible schedule* — raises a chosen
+error, delays the call, or corrupts the returned estimate.  The test
+suite uses it to prove the engine still plans and executes every
+workload query while its primary estimators misbehave.
+
+Example::
+
+    schedule = FaultSchedule(FaultSpec.raising(), every=1)   # every call
+    chain.wrap_tier("staircase", lambda est: FaultInjectingSelectEstimator(est, schedule))
+
+Schedules fire by call index, so a replayed workload hits the same
+faults in the same places regardless of wall clock or interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
+from repro.geometry import Point
+from repro.resilience.errors import EstimationError
+
+FaultKind = Literal["raise", "delay", "corrupt"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """What happens when a fault fires.
+
+    Attributes:
+        kind: ``"raise"`` (raise ``error``), ``"delay"`` (sleep
+            ``delay_seconds`` then answer normally), or ``"corrupt"``
+            (return ``corrupt_value`` instead of the true estimate).
+        error: Exception type raised for ``"raise"`` faults.
+        message: Message for raised faults.
+        delay_seconds: Sleep duration for ``"delay"`` faults.
+        corrupt_value: Returned value for ``"corrupt"`` faults; the
+            default NaN is caught by the fallback chain's result guard.
+    """
+
+    kind: FaultKind
+    error: type[Exception] = EstimationError
+    message: str = "injected fault"
+    delay_seconds: float = 0.0
+    corrupt_value: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "delay", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+
+    @classmethod
+    def raising(cls, error: type[Exception] = EstimationError, message: str = "injected fault") -> "FaultSpec":
+        """A fault that raises ``error(message)``."""
+        return cls(kind="raise", error=error, message=message)
+
+    @classmethod
+    def delaying(cls, seconds: float) -> "FaultSpec":
+        """A fault that delays the call by ``seconds``."""
+        return cls(kind="delay", delay_seconds=seconds)
+
+    @classmethod
+    def corrupting(cls, value: float = float("nan")) -> "FaultSpec":
+        """A fault that replaces the estimate with ``value``."""
+        return cls(kind="corrupt", corrupt_value=value)
+
+
+class FaultSchedule:
+    """A deterministic schedule deciding which calls a fault hits.
+
+    Exactly one trigger mode is chosen:
+
+    * ``calls`` — an explicit set of 0-based call indices;
+    * ``every`` — every ``every``-th call starting at ``after``;
+    * ``probability`` — a seeded per-call Bernoulli draw (derived from
+      ``(seed, call_index)``, so replays fire identically).
+
+    Args:
+        fault: The :class:`FaultSpec` applied when the schedule fires.
+        calls: Explicit call indices.
+        every: Fire period (``1`` = every call).
+        after: First call index eligible to fire (for ``every`` mode).
+        probability: Per-call fire probability in ``[0, 1]``.
+        seed: Seed for ``probability`` mode.
+
+    Raises:
+        ValueError: If no or multiple trigger modes are given.
+    """
+
+    def __init__(
+        self,
+        fault: FaultSpec,
+        calls: Iterable[int] | None = None,
+        every: int | None = None,
+        after: int = 0,
+        probability: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        modes = sum(x is not None for x in (calls, every, probability))
+        if modes != 1:
+            raise ValueError("choose exactly one of calls=, every=, probability=")
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.fault = fault
+        self._calls = frozenset(int(c) for c in calls) if calls is not None else None
+        self._every = every
+        self._after = after
+        self._probability = probability
+        self._seed = seed
+
+    def fires(self, call_index: int) -> bool:
+        """Whether the fault hits call ``call_index`` (0-based)."""
+        if self._calls is not None:
+            return call_index in self._calls
+        if self._every is not None:
+            return call_index >= self._after and (call_index - self._after) % self._every == 0
+        # Seeded per-call draw: independent of call order and wall clock.
+        draw = random.Random((self._seed << 32) ^ call_index).random()
+        return draw < self._probability
+
+
+class _FaultInjectingBase:
+    """Call counting and fault application shared by both proxies."""
+
+    def __init__(self, inner, schedules: FaultSchedule | Sequence[FaultSchedule]) -> None:
+        if isinstance(schedules, FaultSchedule):
+            schedules = [schedules]
+        self._inner = inner
+        self._schedules = list(schedules)
+        #: Total calls observed (faulted or not).
+        self.calls = 0
+        #: Calls on which at least one fault fired.
+        self.faults_fired = 0
+        self.preprocessing_seconds = getattr(inner, "preprocessing_seconds", 0.0)
+
+    @property
+    def inner(self):
+        """The wrapped estimator."""
+        return self._inner
+
+    def _apply(self, compute):
+        """Run one call through the fault schedules."""
+        index = self.calls
+        self.calls += 1
+        fired = [s.fault for s in self._schedules if s.fires(index)]
+        if fired:
+            self.faults_fired += 1
+        for fault in fired:
+            if fault.kind == "raise":
+                raise fault.error(fault.message)
+            if fault.kind == "delay":
+                time.sleep(fault.delay_seconds)
+        value = compute()
+        for fault in fired:
+            if fault.kind == "corrupt":
+                value = fault.corrupt_value
+        return value
+
+    def storage_bytes(self) -> int:
+        """Delegates to the wrapped estimator."""
+        return self._inner.storage_bytes()
+
+
+class FaultInjectingSelectEstimator(_FaultInjectingBase, SelectCostEstimator):
+    """A select estimator proxy that injects scheduled faults."""
+
+    def estimate(self, query: Point, k: int) -> float:
+        """Delegate to the wrapped estimator through the fault schedules."""
+        return self._apply(lambda: self._inner.estimate(query, k))
+
+
+class FaultInjectingJoinEstimator(_FaultInjectingBase, JoinCostEstimator):
+    """A join estimator proxy that injects scheduled faults."""
+
+    def estimate(self, k: int) -> float:
+        """Delegate to the wrapped estimator through the fault schedules."""
+        return self._apply(lambda: self._inner.estimate(k))

@@ -1,0 +1,174 @@
+"""Input guards: validate queries and data at the engine boundary.
+
+Guards follow one policy throughout:
+
+* inputs that can never produce a meaningful answer (non-finite
+  coordinates, ``k < 1``, inverted regions) **always raise**
+  :class:`~repro.resilience.errors.InvalidQueryError`;
+* inputs that are suspicious but well-defined (``k`` larger than the
+  relation, focal points far outside the indexed space, zero-area query
+  regions) are **noted** — the notes ride on the
+  :class:`~repro.engine.planner.PlanExplanation` as degraded-mode
+  provenance — unless ``strict=True``, in which case they raise too.
+
+The split keeps the default engine permissive (a k-NN query outside the
+indexed space is legal and answerable) while giving operators a switch
+that turns every anomaly into a hard error.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+
+from repro.geometry import Point, Rect
+from repro.resilience.errors import InvalidQueryError
+
+#: A focal point farther than this many bounds-diagonals from the
+#: indexed space is flagged as suspicious (estimates degrade to global
+#: density there, and a typo'd coordinate is the most likely cause).
+FAR_QUERY_DIAGONALS = 4.0
+
+
+def require_finite_coordinates(x: float, y: float, what: str = "query point") -> None:
+    """Reject non-finite coordinates with a typed error.
+
+    Raises:
+        InvalidQueryError: If either coordinate is NaN or infinite.
+    """
+    if not (math.isfinite(x) and math.isfinite(y)):
+        raise InvalidQueryError(
+            f"{what} coordinates must be finite, got ({x}, {y})"
+        )
+
+
+def require_valid_k(k: int, what: str = "k") -> None:
+    """Reject non-positive or non-integral k.
+
+    Raises:
+        InvalidQueryError: If ``k`` is not a positive integer.
+    """
+    if isinstance(k, bool) or not isinstance(k, numbers.Integral):
+        raise InvalidQueryError(f"{what} must be an integer, got {k!r}")
+    if k < 1:
+        raise InvalidQueryError(f"{what} must be >= 1, got {k}")
+
+
+def require_valid_region(region: Rect, strict: bool = False) -> list[str]:
+    """Validate a query region; returns notes for suspicious shapes.
+
+    ``Rect`` already rejects inverted and non-finite bounds at
+    construction, so the remaining check is degeneracy: a zero-area
+    region is well-defined (it selects points on a segment) but almost
+    always a bug in the caller.
+
+    Raises:
+        InvalidQueryError: On a zero-area region when ``strict``.
+    """
+    notes: list[str] = []
+    if region.area == 0.0:
+        message = f"query region {region} has zero area"
+        if strict:
+            raise InvalidQueryError(message)
+        notes.append(message)
+    return notes
+
+
+def check_query_point(query: Point, bounds: Rect | None, strict: bool = False) -> list[str]:
+    """Flag focal points far outside the indexed space.
+
+    Raises:
+        InvalidQueryError: When ``strict`` and the point is far outside.
+    """
+    require_finite_coordinates(query.x, query.y)
+    if bounds is None:
+        return []
+    diagonal = bounds.diagonal
+    if diagonal == 0.0:
+        return []
+    dx = max(bounds.x_min - query.x, 0.0, query.x - bounds.x_max)
+    dy = max(bounds.y_min - query.y, 0.0, query.y - bounds.y_max)
+    distance = math.hypot(dx, dy)
+    if distance > FAR_QUERY_DIAGONALS * diagonal:
+        message = (
+            f"focal point ({query.x:g}, {query.y:g}) lies "
+            f"{distance / diagonal:.1f} bounds-diagonals outside the "
+            "indexed space; estimates degrade to global density"
+        )
+        if strict:
+            raise InvalidQueryError(message)
+        return [message]
+    return []
+
+
+def check_k_against_table(k: int, n_rows: int, strict: bool = False) -> list[str]:
+    """Flag ``k`` exceeding the relation size.
+
+    The query is well-defined — it returns every row — but the caller
+    almost certainly meant something else, and catalogs cannot cover it.
+
+    Raises:
+        InvalidQueryError: If ``k < 1``, or when ``strict`` and
+            ``k > n_rows`` for a non-empty relation.
+    """
+    require_valid_k(k)
+    if 0 < n_rows < k:
+        message = f"k={k} exceeds the relation's {n_rows} rows; the result holds every row"
+        if strict:
+            raise InvalidQueryError(message)
+        return [message]
+    return []
+
+
+def guard_select_query(query, n_rows: int, bounds: Rect | None, strict: bool = False) -> list[str]:
+    """Validate a :class:`~repro.engine.queries.KnnSelectQuery`.
+
+    Args:
+        query: The query specification.
+        n_rows: Row count of the queried relation.
+        bounds: Indexed bounds of the relation (``None`` when empty).
+        strict: Escalate suspicious inputs to errors.
+
+    Returns:
+        Degraded-mode notes (empty when the query is unremarkable).
+
+    Raises:
+        InvalidQueryError: On inputs that cannot be answered (always)
+            or suspicious ones (only when ``strict``).
+    """
+    notes = check_query_point(query.query, bounds, strict)
+    notes += check_k_against_table(query.k, n_rows, strict)
+    if query.region is not None:
+        notes += require_valid_region(query.region, strict)
+    if n_rows == 0:
+        notes.append("relation is empty; the result is empty for every k")
+    return notes
+
+
+def guard_range_query(query, n_rows: int, strict: bool = False) -> list[str]:
+    """Validate a :class:`~repro.engine.queries.RangeQuery`."""
+    notes = require_valid_region(query.region, strict)
+    if n_rows == 0:
+        notes.append("relation is empty; the result is empty for every region")
+    return notes
+
+
+def guard_join_query(query, n_outer: int, n_inner: int, strict: bool = False) -> list[str]:
+    """Validate a :class:`~repro.engine.queries.KnnJoinQuery`."""
+    notes = check_k_against_table(query.k, n_inner, strict)
+    if n_outer == 0 or n_inner == 0:
+        notes.append("a join side is empty; the join result is trivial")
+    return notes
+
+
+def guard_estimate_inputs(query: Point, k: int) -> None:
+    """The per-call boundary check every select estimator applies.
+
+    Cheap enough (two ``isfinite`` calls and an integer compare) to run
+    on the estimation hot path.
+
+    Raises:
+        InvalidQueryError: On a non-finite focal point or invalid ``k``.
+    """
+    require_finite_coordinates(query.x, query.y)
+    require_valid_k(k)

@@ -116,3 +116,44 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestResilienceBehavior:
+    def test_malformed_csv_exits_2_with_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1.0,2.0\n3.0,oops\n")
+        code = main(["estimate-select", str(bad), "--x", "0", "--y", "0", "-k", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "line 3" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["estimate-select", str(tmp_path / "nope.csv"), "--x", "0", "--y", "0", "-k", "4"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_strict_flag_accepted_and_healthy(self, points_csv, capsys):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--x", "50", "--y", "50", "-k", "8",
+                "--max-k", "64", "--capacity", "64", "--strict",
+            ]
+        )
+        assert code == 0
+        assert "degraded:" not in capsys.readouterr().out
+
+    def test_join_strict_flag_accepted(self, points_csv, inner_csv, capsys):
+        code = main(
+            [
+                "estimate-join", points_csv, inner_csv,
+                "-k", "8", "--technique", "block-sample",
+                "--sample-size", "10", "--max-k", "64",
+                "--capacity", "64", "--strict",
+            ]
+        )
+        assert code == 0
+        assert "estimate:" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""End-to-end resilience: the engine answers correctly under faults.
+
+The acceptance property of the resilience layer: for every workload
+query, ``SpatialEngine.execute`` returns exactly the same result rows
+with the primary select and join estimators raising on every call as it
+does with healthy estimators — only the *plan provenance* may differ,
+and it must say which degraded tier answered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_osm_like, generate_uniform
+from repro.engine import KnnJoinQuery, KnnSelectQuery, RangeQuery, SpatialEngine
+from repro.engine.stats import StatisticsManager
+from repro.engine.table import SpatialTable
+from repro.geometry import Rect
+from repro.resilience.faultinject import (
+    FaultInjectingJoinEstimator,
+    FaultInjectingSelectEstimator,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.workloads import data_distributed_queries
+
+N_POINTS = 600
+N_QUERIES = 12
+
+
+def build_engine() -> SpatialEngine:
+    engine = SpatialEngine(StatisticsManager(max_k=256))
+    engine.register(SpatialTable("osm", generate_osm_like(N_POINTS, seed=11)))
+    engine.register(SpatialTable("uni", generate_uniform(N_POINTS // 2, seed=12)))
+    return engine
+
+
+def workload() -> list:
+    points = generate_osm_like(N_POINTS, seed=11)
+    queries: list = [
+        KnnSelectQuery("osm", sq.query, sq.k)
+        for sq in data_distributed_queries(points, N_QUERIES, max_k=64, seed=5)
+    ]
+    queries.append(KnnJoinQuery("uni", "osm", k=4))
+    queries.append(KnnJoinQuery("osm", "uni", k=3))
+    bounds = Rect(
+        float(points[:, 0].min()),
+        float(points[:, 1].min()),
+        float(points[:, 0].mean()),
+        float(points[:, 1].mean()),
+    )
+    queries.append(RangeQuery("osm", bounds))
+    return queries
+
+
+def canonical(result) -> object:
+    """Order-insensitive comparable form of an ExecutionResult."""
+    if result.row_ids is not None:
+        return sorted(int(r) for r in result.row_ids)
+    return {
+        int(outer): sorted(int(i) for i in inner)
+        for outer, inner in result.join_pairs
+    }
+
+
+def inject_everywhere(engine: SpatialEngine) -> None:
+    """Make every primary select and join tier raise on every call."""
+    always = FaultSchedule(FaultSpec.raising(), every=1)
+    for name in engine.stats.table_names:
+        chain = engine.stats.resilient_select_estimator(name)
+        chain.wrap_tier(
+            chain.primary_tier,
+            lambda est: FaultInjectingSelectEstimator(est, always),
+        )
+    for outer in engine.stats.table_names:
+        for inner in engine.stats.table_names:
+            if outer == inner:
+                continue
+            chain = engine.stats.resilient_join_estimator(outer, inner)
+            chain.wrap_tier(
+                chain.primary_tier,
+                lambda est: FaultInjectingJoinEstimator(est, always),
+            )
+
+
+class TestFaultedEngineMatchesHealthyEngine:
+    @pytest.fixture(scope="class")
+    def healthy_runs(self):
+        engine = build_engine()
+        return [engine.execute(q) for q in workload()]
+
+    @pytest.fixture(scope="class")
+    def faulted_runs(self):
+        engine = build_engine()
+        inject_everywhere(engine)
+        return [engine.execute(q) for q in workload()]
+
+    def test_results_are_identical(self, healthy_runs, faulted_runs):
+        for (healthy, __), (faulted, ___) in zip(healthy_runs, faulted_runs):
+            assert canonical(healthy) == canonical(faulted)
+
+    def test_degradation_is_recorded(self, faulted_runs):
+        for query, (__, explanation) in zip(workload(), faulted_runs):
+            if isinstance(query, RangeQuery):
+                continue  # range plans need no estimator at all
+            assert explanation.degraded
+            assert explanation.estimator_tier not in ("", "staircase", "catalog-merge")
+            assert any("degraded" in note for note in explanation.notes)
+
+    def test_healthy_runs_are_not_degraded(self, healthy_runs):
+        for __, explanation in healthy_runs:
+            assert not explanation.degraded
+
+
+class TestProvenanceSurfacing:
+    def test_explanation_str_names_the_tier(self):
+        engine = build_engine()
+        inject_everywhere(engine)
+        explanation = engine.explain(workload()[0])
+        text = str(explanation)
+        assert "estimator:" in text and "degraded" in text
+
+    def test_primary_tier_provenance_when_healthy(self):
+        engine = build_engine()
+        explanation = engine.explain(workload()[0])
+        assert explanation.estimator_tier == "staircase"
+        assert not explanation.degraded
+
+    def test_fallback_disabled_uses_raw_estimators(self):
+        engine = SpatialEngine(StatisticsManager(max_k=256, fallback=False))
+        engine.register(SpatialTable("osm", generate_osm_like(300, seed=11)))
+        explanation = engine.explain(workload()[0])
+        # Raw estimators carry no chain provenance.
+        assert explanation.estimator_tier == ""
+
+
+class TestIntermittentFaults:
+    def test_seeded_intermittent_faults_never_change_results(self):
+        healthy = build_engine()
+        flaky = build_engine()
+        schedule = FaultSchedule(FaultSpec.raising(), probability=0.5, seed=99)
+        for name in flaky.stats.table_names:
+            chain = flaky.stats.resilient_select_estimator(name)
+            chain.wrap_tier(
+                chain.primary_tier,
+                lambda est: FaultInjectingSelectEstimator(est, schedule),
+            )
+        for query in workload():
+            if not isinstance(query, KnnSelectQuery):
+                continue
+            (a, __), (b, ___) = healthy.execute(query), flaky.execute(query)
+            assert canonical(a) == canonical(b)
+
+    def test_corrupting_faults_never_change_results(self):
+        healthy = build_engine()
+        corrupt = build_engine()
+        schedule = FaultSchedule(FaultSpec.corrupting(float("nan")), every=1)
+        for name in corrupt.stats.table_names:
+            chain = corrupt.stats.resilient_select_estimator(name)
+            chain.wrap_tier(
+                chain.primary_tier,
+                lambda est: FaultInjectingSelectEstimator(est, schedule),
+            )
+        for query in workload():
+            if not isinstance(query, KnnSelectQuery):
+                continue
+            (a, __), (b, ___) = healthy.execute(query), corrupt.execute(query)
+            assert canonical(a) == canonical(b)

@@ -1,0 +1,257 @@
+"""Fallback chains: degradation order, health tracking, transparency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import DensityBasedEstimator, StaircaseEstimator, UniformModelEstimator
+from repro.geometry import Point
+from repro.resilience.errors import EstimationError
+from repro.resilience.fallback import (
+    GUARANTEED_BOUND_TIER,
+    FallbackJoinEstimator,
+    FallbackSelectEstimator,
+)
+from repro.resilience.faultinject import (
+    FaultInjectingSelectEstimator,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.resilience.guards import InvalidQueryError
+
+
+def make_chain(quadtree, count_index, **kwargs) -> FallbackSelectEstimator:
+    return FallbackSelectEstimator(
+        tiers=[
+            ("staircase", lambda: StaircaseEstimator(quadtree, max_k=256)),
+            ("density", lambda: DensityBasedEstimator(count_index)),
+            ("uniform-model", lambda: UniformModelEstimator(count_index)),
+        ],
+        guaranteed_bound=float(quadtree.num_blocks),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def chain(osm_quadtree, osm_count_index) -> FallbackSelectEstimator:
+    return make_chain(osm_quadtree, osm_count_index)
+
+
+@pytest.fixture(scope="module")
+def primary(osm_quadtree) -> StaircaseEstimator:
+    return StaircaseEstimator(osm_quadtree, max_k=256)
+
+
+class TestHealthyChain:
+    def test_primary_answers(self, chain):
+        chain.reset_health()
+        chain.estimate(Point(0.4, 0.6), 10)
+        assert chain.last_outcome.tier == "staircase"
+        assert not chain.last_outcome.degraded
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.floats(min_value=0.0, max_value=1.0),
+        y=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=1, max_value=256),
+    )
+    def test_zero_overhead_when_healthy(self, chain, primary, x, y, k):
+        # The chain must be transparent: bit-identical to the primary.
+        assert chain.estimate(Point(x, y), k) == primary.estimate(Point(x, y), k)
+
+    def test_invalid_inputs_still_raise(self, chain):
+        class RawPoint:  # Point itself rejects NaN at construction
+            x = float("nan")
+            y = 0.0
+
+        with pytest.raises(InvalidQueryError):
+            chain.estimate(RawPoint(), 5)
+        with pytest.raises(InvalidQueryError):
+            chain.estimate(Point(0.5, 0.5), 0)
+
+
+class TestDegradation:
+    def test_raise_in_primary_degrades_to_density(self, osm_quadtree, osm_count_index):
+        chain = make_chain(osm_quadtree, osm_count_index)
+        chain.wrap_tier(
+            "staircase",
+            lambda est: FaultInjectingSelectEstimator(
+                est, FaultSchedule(FaultSpec.raising(), every=1)
+            ),
+        )
+        expected = DensityBasedEstimator(osm_count_index).estimate(Point(0.4, 0.6), 10)
+        assert chain.estimate(Point(0.4, 0.6), 10) == expected
+        assert chain.last_outcome.tier == "density"
+        assert chain.last_outcome.degraded
+        assert "injected fault" in chain.last_outcome.describe()
+
+    def test_corrupt_estimate_is_caught(self, osm_quadtree, osm_count_index):
+        # NaN and negative answers are invalid whatever produced them.
+        for bad in (float("nan"), float("inf"), -3.0):
+            chain = make_chain(osm_quadtree, osm_count_index)
+            chain.wrap_tier(
+                "staircase",
+                lambda est, bad=bad: FaultInjectingSelectEstimator(
+                    est, FaultSchedule(FaultSpec.corrupting(bad), every=1)
+                ),
+            )
+            value = chain.estimate(Point(0.4, 0.6), 10)
+            assert np.isfinite(value) and value >= 0
+            assert chain.last_outcome.tier == "density"
+
+    def test_time_budget_fails_slow_tier(self, osm_quadtree, osm_count_index):
+        chain = make_chain(osm_quadtree, osm_count_index, time_budget_seconds=0.01)
+        chain.wrap_tier(
+            "staircase",
+            lambda est: FaultInjectingSelectEstimator(
+                est, FaultSchedule(FaultSpec.delaying(0.05), every=1)
+            ),
+        )
+        chain.estimate(Point(0.4, 0.6), 10)
+        assert chain.last_outcome.tier == "density"
+        assert "Budget" in chain.last_outcome.attempts[0].outcome
+
+    def test_all_tiers_failing_yields_guaranteed_bound(self, osm_quadtree, osm_count_index):
+        chain = make_chain(osm_quadtree, osm_count_index)
+        for tier in chain.tier_names:
+            chain.wrap_tier(
+                tier,
+                lambda est: FaultInjectingSelectEstimator(
+                    est, FaultSchedule(FaultSpec.raising(), every=1)
+                ),
+            )
+        value = chain.estimate(Point(0.4, 0.6), 10)
+        assert value == float(osm_quadtree.num_blocks)
+        assert chain.last_outcome.tier == GUARANTEED_BOUND_TIER
+        assert chain.last_outcome.degraded
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_and_cools_down(self, osm_quadtree, osm_count_index):
+        chain = make_chain(
+            osm_quadtree, osm_count_index, breaker_threshold=3, breaker_cooldown=4
+        )
+        chain.wrap_tier(
+            "staircase",
+            lambda est: FaultInjectingSelectEstimator(
+                est, FaultSchedule(FaultSpec.raising(), every=1)
+            ),
+        )
+        injector = chain.tier_instance("staircase")
+        q = Point(0.4, 0.6)
+        for _ in range(3):  # three consecutive failures trip the breaker
+            chain.estimate(q, 10)
+        assert chain.health("staircase").circuit_open
+        calls_at_trip = injector.calls
+        for _ in range(4):  # cooldown window: tier must not be called
+            chain.estimate(q, 10)
+            assert chain.last_outcome.attempts[0].outcome == "skipped (circuit open)"
+        assert injector.calls == calls_at_trip
+        assert not chain.health("staircase").circuit_open
+        chain.estimate(q, 10)  # breaker closed: the tier is retried
+        assert injector.calls == calls_at_trip + 1
+
+    def test_success_resets_consecutive_failures(self, osm_quadtree, osm_count_index):
+        chain = make_chain(
+            osm_quadtree, osm_count_index, breaker_threshold=3, breaker_cooldown=4
+        )
+        # Fault every other call: failures never become consecutive
+        # enough to trip the breaker.
+        chain.wrap_tier(
+            "staircase",
+            lambda est: FaultInjectingSelectEstimator(
+                est, FaultSchedule(FaultSpec.raising(), every=2)
+            ),
+        )
+        for _ in range(10):
+            chain.estimate(Point(0.4, 0.6), 10)
+        assert not chain.health("staircase").circuit_open
+        health = chain.health("staircase")
+        assert health.total_failures == 5
+        assert health.total_calls == 10
+
+    def test_reset_health_closes_breakers(self, osm_quadtree, osm_count_index):
+        chain = make_chain(osm_quadtree, osm_count_index, breaker_threshold=1)
+        chain.wrap_tier(
+            "staircase",
+            lambda est: FaultInjectingSelectEstimator(
+                est, FaultSchedule(FaultSpec.raising(), every=1)
+            ),
+        )
+        chain.estimate(Point(0.4, 0.6), 10)
+        assert chain.health("staircase").circuit_open
+        chain.reset_health()
+        assert not chain.health("staircase").circuit_open
+
+
+class TestChainValidation:
+    def test_empty_tier_list_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackSelectEstimator(tiers=[], guaranteed_bound=1.0)
+
+    def test_duplicate_tier_names_rejected(self, osm_count_index):
+        with pytest.raises(ValueError):
+            FallbackSelectEstimator(
+                tiers=[
+                    ("density", lambda: DensityBasedEstimator(osm_count_index)),
+                    ("density", lambda: DensityBasedEstimator(osm_count_index)),
+                ],
+                guaranteed_bound=1.0,
+            )
+
+    def test_crashing_factory_counts_as_failure(self, osm_count_index):
+        def exploding():
+            raise RuntimeError("cannot build")
+
+        chain = FallbackSelectEstimator(
+            tiers=[
+                ("broken", exploding),
+                ("density", lambda: DensityBasedEstimator(osm_count_index)),
+            ],
+            guaranteed_bound=1.0,
+        )
+        chain.estimate(Point(0.4, 0.6), 10)
+        assert chain.last_outcome.tier == "density"
+        assert chain.health("broken").total_failures == 1
+
+
+class TestJoinChain:
+    def test_join_chain_degrades(self, osm_quadtree, inner_count_index):
+        calls = {"primary": 0}
+
+        class Exploding:
+            def estimate(self, k):
+                calls["primary"] += 1
+                raise EstimationError("join catalogs unavailable")
+
+            def storage_bytes(self):
+                return 0
+
+        from repro.estimators import BlockSampleEstimator
+
+        chain = FallbackJoinEstimator(
+            tiers=[
+                ("catalog-merge", Exploding),
+                (
+                    "block-sample",
+                    lambda: BlockSampleEstimator(
+                        osm_quadtree, inner_count_index, sample_size=16
+                    ),
+                ),
+            ],
+            guaranteed_bound=1e9,
+        )
+        value = chain.estimate(8)
+        assert np.isfinite(value) and value >= 0
+        assert calls["primary"] == 1
+        assert chain.last_outcome.tier == "block-sample"
+
+    def test_join_chain_validates_k(self, inner_count_index):
+        chain = FallbackJoinEstimator(
+            tiers=[("x", lambda: None)], guaranteed_bound=1.0
+        )
+        with pytest.raises(InvalidQueryError):
+            chain.estimate(0)

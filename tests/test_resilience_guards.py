@@ -1,0 +1,178 @@
+"""Input guards, the error taxonomy, and the guarded boundaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_points_csv, save_points_csv
+from repro.engine import KnnJoinQuery, KnnSelectQuery, RangeQuery, SpatialEngine
+from repro.engine.stats import StatisticsManager
+from repro.engine.table import SpatialTable
+from repro.geometry import Point, Rect
+from repro.resilience.errors import (
+    BudgetExceededError,
+    CatalogCorruptError,
+    EstimationError,
+    InvalidQueryError,
+    StaleCatalogError,
+)
+from repro.resilience.guards import (
+    check_k_against_table,
+    check_query_point,
+    require_finite_coordinates,
+    require_valid_k,
+    require_valid_region,
+)
+
+
+class TestTaxonomy:
+    def test_all_errors_are_estimation_errors(self):
+        for exc_type in (
+            InvalidQueryError,
+            CatalogCorruptError,
+            StaleCatalogError,
+            BudgetExceededError,
+        ):
+            assert issubclass(exc_type, EstimationError)
+
+    def test_input_and_corruption_errors_double_as_value_errors(self):
+        # Legacy call sites catch ValueError; the new taxonomy must not
+        # slip past them.
+        assert issubclass(InvalidQueryError, ValueError)
+        assert issubclass(CatalogCorruptError, ValueError)
+
+    def test_staleness_and_budget_are_not_value_errors(self):
+        # These signal state problems, not bad input values.
+        assert not issubclass(StaleCatalogError, ValueError)
+        assert not issubclass(BudgetExceededError, ValueError)
+
+
+class TestScalarGuards:
+    @pytest.mark.parametrize("x,y", [(math.nan, 0.0), (0.0, math.inf), (-math.inf, 1.0)])
+    def test_non_finite_coordinates_rejected(self, x, y):
+        with pytest.raises(InvalidQueryError):
+            require_finite_coordinates(x, y)
+
+    def test_finite_coordinates_pass(self):
+        require_finite_coordinates(-1e308, 1e308)
+
+    @pytest.mark.parametrize("k", [0, -1, 1.5, "3", None, True])
+    def test_invalid_k_rejected(self, k):
+        with pytest.raises(InvalidQueryError):
+            require_valid_k(k)
+
+    def test_numpy_integers_are_valid_k(self):
+        require_valid_k(np.int64(7))
+        require_valid_k(np.int32(1))
+
+    def test_k_exceeding_table_is_a_note_by_default(self):
+        notes = check_k_against_table(100, n_rows=10)
+        assert len(notes) == 1 and "exceeds" in notes[0]
+
+    def test_k_exceeding_table_raises_in_strict_mode(self):
+        with pytest.raises(InvalidQueryError):
+            check_k_against_table(100, n_rows=10, strict=True)
+
+    def test_far_outside_focal_point_is_flagged(self):
+        bounds = Rect(0, 0, 1, 1)
+        assert check_query_point(Point(100.0, 100.0), bounds) != []
+        with pytest.raises(InvalidQueryError):
+            check_query_point(Point(100.0, 100.0), bounds, strict=True)
+
+    def test_nearby_focal_point_is_unremarkable(self):
+        assert check_query_point(Point(1.5, 1.5), Rect(0, 0, 1, 1)) == []
+
+    def test_zero_area_region_noted_or_rejected(self):
+        degenerate = Rect(0, 0, 0, 1)
+        assert require_valid_region(degenerate) != []
+        with pytest.raises(InvalidQueryError):
+            require_valid_region(degenerate, strict=True)
+
+
+class TestCsvLoader:
+    def test_round_trip_unaffected(self, tmp_path):
+        pts = np.array([[0.0, 1.0], [2.5, -3.5]])
+        path = tmp_path / "pts.csv"
+        save_points_csv(pts, path)
+        np.testing.assert_allclose(load_points_csv(path), pts)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points_csv(tmp_path / "nope.csv")
+
+    def test_malformed_row_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,2.0\n3.0,oops\n")
+        with pytest.raises(InvalidQueryError, match="line 3"):
+            load_points_csv(path)
+
+    def test_wrong_column_count_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,2.0\n1.0,2.0,3.0\n")
+        with pytest.raises(InvalidQueryError, match="line 3"):
+            load_points_csv(path)
+
+    def test_non_finite_row_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,2.0\nnan,0.5\n4.0,5.0\n")
+        with pytest.raises(InvalidQueryError, match="line 3"):
+            load_points_csv(path)
+
+    def test_loader_errors_remain_value_errors(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\ngarbage\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+
+@pytest.fixture(scope="module")
+def guarded_engine(osm_points):
+    engine = SpatialEngine()
+    engine.register(SpatialTable("pts", osm_points[:500]))
+    engine.register(SpatialTable("other", osm_points[500:900]))
+    return engine
+
+
+class TestEngineBoundary:
+    def test_unknown_table_still_raises_key_error(self, guarded_engine):
+        with pytest.raises(KeyError):
+            guarded_engine.explain(KnnSelectQuery("ghost", Point(0, 0), k=3))
+
+    def test_oversized_k_becomes_a_plan_note(self, guarded_engine):
+        explanation = guarded_engine.explain(
+            KnnSelectQuery("pts", Point(0.5, 0.5), k=100_000)
+        )
+        assert any("exceeds" in note for note in explanation.notes)
+
+    def test_far_outside_query_becomes_a_plan_note(self, guarded_engine):
+        explanation = guarded_engine.explain(
+            KnnSelectQuery("pts", Point(1e6, 1e6), k=3)
+        )
+        assert any("outside" in note for note in explanation.notes)
+
+    def test_zero_area_range_region_noted(self, guarded_engine):
+        explanation = guarded_engine.explain(
+            RangeQuery("pts", Rect(0.2, 0.2, 0.2, 0.8))
+        )
+        assert any("zero area" in note for note in explanation.notes)
+
+    def test_join_guard_notes_ride_along(self, guarded_engine):
+        explanation = guarded_engine.explain(
+            KnnJoinQuery("pts", "other", k=100_000)
+        )
+        assert any("exceeds" in note for note in explanation.notes)
+
+    def test_strict_engine_escalates_notes_to_errors(self, osm_points):
+        engine = SpatialEngine(StatisticsManager(strict=True))
+        engine.register(SpatialTable("pts", osm_points[:200]))
+        with pytest.raises(InvalidQueryError):
+            engine.explain(KnnSelectQuery("pts", Point(0.5, 0.5), k=100_000))
+
+    def test_unremarkable_query_has_no_notes(self, guarded_engine):
+        explanation = guarded_engine.explain(
+            KnnSelectQuery("pts", Point(0.5, 0.5), k=5)
+        )
+        assert explanation.notes == []
