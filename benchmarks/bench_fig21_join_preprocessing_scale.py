@@ -34,4 +34,10 @@ def test_fig21_table_and_grid_build(benchmark, bench_config):
 
     grid = benchmark.pedantic(build_grid_catalogs, rounds=2, iterations=1)
     benchmark.extra_info.update(headline(result, max_rows=10))
+    benchmark.extra_info.update(
+        {
+            f"preproc_{key}": value
+            for key, value in grid.preprocessing_stats.as_dict().items()
+        }
+    )
     assert grid.storage_bytes() > 0

@@ -35,4 +35,10 @@ def test_fig23_table_and_build(benchmark, bench_config):
 
     estimator = benchmark.pedantic(build, rounds=3, iterations=1)
     benchmark.extra_info.update(headline(result, max_rows=6))
+    benchmark.extra_info.update(
+        {
+            f"preproc_{key}": value
+            for key, value in estimator.preprocessing_stats.as_dict().items()
+        }
+    )
     assert estimator.sample_size <= smallest

@@ -37,6 +37,11 @@ class IntervalCatalog:
     Raises:
         ValueError: If ranges are empty, overlapping, non-contiguous, or
             do not start at 1.
+
+    Catalogs are value objects: the backing arrays are frozen
+    (``writeable=False``) at construction and in every derived clone, so
+    transformations may share arrays without aliasing hazards and
+    ``__hash__`` stays stable for the catalog's lifetime.
     """
 
     __slots__ = ("_k_end", "_cost")
@@ -61,6 +66,29 @@ class IntervalCatalog:
             expected_start = k_end + 1
         self._k_end = np.array(k_ends, dtype=np.int64)
         self._cost = np.array(costs, dtype=float)
+        self._k_end.setflags(write=False)
+        self._cost.setflags(write=False)
+
+    @classmethod
+    def _from_arrays(cls, k_end: np.ndarray, cost: np.ndarray) -> "IntervalCatalog":
+        """Trusted constructor for pre-validated columnar data.
+
+        Callers (the transformation methods below and the vectorized
+        merges in :mod:`repro.catalog.merge`) guarantee the invariants —
+        sorted positive ``k_end``, equal lengths — so this skips the
+        per-entry validation loop.  Arrays are frozen before being
+        adopted; already-frozen arrays may be shared between clones.
+        """
+        k_end = np.asarray(k_end, dtype=np.int64)
+        cost = np.asarray(cost, dtype=float)
+        if k_end.shape != cost.shape or k_end.ndim != 1 or k_end.shape[0] == 0:
+            raise ValueError("catalog arrays must be equal-length, non-empty 1-D")
+        k_end.setflags(write=False)
+        cost.setflags(write=False)
+        clone = cls.__new__(cls)
+        clone._k_end = k_end
+        clone._cost = cost
+        return clone
 
     # ------------------------------------------------------------------
     # Lookup
@@ -104,12 +132,12 @@ class IntervalCatalog:
 
     @property
     def k_ends(self) -> np.ndarray:
-        """``(n,)`` array of range upper bounds (read-only view)."""
+        """``(n,)`` array of range upper bounds (frozen: writes raise)."""
         return self._k_end
 
     @property
     def costs(self) -> np.ndarray:
-        """``(n,)`` array of per-range costs (read-only view)."""
+        """``(n,)`` array of per-range costs (frozen: writes raise)."""
         return self._cost
 
     def entries(self) -> Iterator[tuple[int, int, float]]:
@@ -151,13 +179,15 @@ class IntervalCatalog:
         """
         if factor < 0:
             raise ValueError(f"scale factor must be non-negative, got {factor}")
-        clone = IntervalCatalog.__new__(IntervalCatalog)
-        clone._k_end = self._k_end
-        clone._cost = self._cost * factor
-        return clone
+        # The frozen k_end array can be shared safely; costs are fresh.
+        return IntervalCatalog._from_arrays(self._k_end, self._cost * factor)
 
     def truncated(self, max_k: int) -> "IntervalCatalog":
         """Return a copy limited to ``k <= max_k``.
+
+        Always a distinct catalog object (possibly sharing the frozen
+        backing arrays when no truncation is needed), so callers may
+        treat the result as independently owned.
 
         Raises:
             ValueError: If ``max_k < 1``.
@@ -165,12 +195,12 @@ class IntervalCatalog:
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         if max_k >= self.max_k:
-            return self
+            return IntervalCatalog._from_arrays(self._k_end, self._cost)
         cut = int(np.searchsorted(self._k_end, max_k, side="left"))
-        clone = IntervalCatalog.__new__(IntervalCatalog)
-        clone._k_end = np.concatenate([self._k_end[:cut], [max_k]]).astype(np.int64)
-        clone._cost = self._cost[: cut + 1].copy()
-        return clone
+        return IntervalCatalog._from_arrays(
+            np.concatenate([self._k_end[:cut], [max_k]]).astype(np.int64),
+            self._cost[: cut + 1].copy(),
+        )
 
     def coalesced(self) -> "IntervalCatalog":
         """Merge adjacent ranges with equal cost (redundant-entry removal)."""
@@ -178,10 +208,7 @@ class IntervalCatalog:
             return self
         keep = np.ones(self.n_entries, dtype=bool)
         keep[:-1] = self._cost[:-1] != self._cost[1:]
-        clone = IntervalCatalog.__new__(IntervalCatalog)
-        clone._k_end = self._k_end[keep]
-        clone._cost = self._cost[keep]
-        return clone
+        return IntervalCatalog._from_arrays(self._k_end[keep], self._cost[keep])
 
     @classmethod
     def constant(cls, cost: float, max_k: int) -> "IntervalCatalog":

@@ -124,7 +124,12 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
     query = Point(args.x, args.y)
 
     factories = {
-        "staircase": lambda: StaircaseEstimator(index, max_k=args.max_k),
+        "staircase": lambda: StaircaseEstimator(
+            index,
+            max_k=args.max_k,
+            workers=args.workers,
+            dedup=not args.no_dedup,
+        ),
         "density": lambda: DensityBasedEstimator(counts),
         "uniform-model": lambda: UniformModelEstimator(counts),
     }
@@ -147,6 +152,7 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
     print(f"estimate:   {estimate:.2f} blocks ({elapsed * 1e6:.1f} us)")
     print(f"actual:     {actual} blocks")
     print(f"error:      {error:.1%}")
+    _print_preprocessing(estimator)
     _print_degradation(estimator)
     return 0
 
@@ -158,6 +164,13 @@ def _print_degradation(estimator) -> None:
         print(f"degraded:   {outcome.describe()}")
 
 
+def _print_preprocessing(estimator) -> None:
+    """Surface preprocessing instrumentation (works for chains, too)."""
+    stats = getattr(estimator, "preprocessing_stats", None)
+    if stats is not None and stats.wall_seconds > 0.0:
+        print(f"preproc:    {stats.describe()}")
+
+
 def _cmd_estimate_join(args: argparse.Namespace) -> int:
     outer = _load_index(args.outer, args.capacity)
     inner = _load_index(args.inner, args.capacity)
@@ -165,13 +178,18 @@ def _cmd_estimate_join(args: argparse.Namespace) -> int:
 
     factories = {
         "catalog-merge": lambda: CatalogMergeEstimator(
-            outer, inner_counts, sample_size=args.sample_size, max_k=args.max_k
+            outer,
+            inner_counts,
+            sample_size=args.sample_size,
+            max_k=args.max_k,
+            workers=args.workers,
         ),
         "virtual-grid": lambda: VirtualGridEstimator(
             inner_counts,
             bounds=outer.bounds.union(inner.bounds),
             grid_size=args.grid_size,
             max_k=args.max_k,
+            workers=args.workers,
         ).for_outer(outer),
         "block-sample": lambda: BlockSampleEstimator(
             outer, inner_counts, sample_size=args.sample_size
@@ -194,6 +212,7 @@ def _cmd_estimate_join(args: argparse.Namespace) -> int:
     print(f"estimate:   {estimate:.0f} blocks ({elapsed * 1e3:.2f} ms)")
     print(f"actual:     {actual} blocks")
     print(f"error:      {error:.1%}")
+    _print_preprocessing(estimator)
     _print_degradation(estimator)
     return 0
 
@@ -245,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-k", type=int, default=1_024)
     p.add_argument("--capacity", type=int, default=256)
     p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for catalog preprocessing (default: serial)",
+    )
+    p.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable shared-anchor deduplication (reference build path)",
+    )
+    p.add_argument(
         "--strict",
         action="store_true",
         help="disable estimator fallback; technique failures become errors",
@@ -264,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid-size", type=int, default=10)
     p.add_argument("--max-k", type=int, default=1_024)
     p.add_argument("--capacity", type=int, default=256)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for catalog preprocessing (default: serial)",
+    )
     p.add_argument(
         "--strict",
         action="store_true",

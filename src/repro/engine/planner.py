@@ -57,6 +57,10 @@ class PlanExplanation:
             had to answer.
         notes: Planning diagnostics — input-guard observations and
             fallback degradation provenance.
+        preprocessing: Flattened preprocessing instrumentation of the
+            costing estimator (:meth:`repro.perf.PreprocessingStats.as_dict`
+            — worker count, anchor dedup counters, per-phase seconds);
+            empty when the estimator exposes none.
     """
 
     chosen: str
@@ -66,6 +70,7 @@ class PlanExplanation:
     estimator_tier: str = ""
     degraded: bool = False
     notes: list[str] = field(default_factory=list)
+    preprocessing: dict[str, float] = field(default_factory=dict)
 
     def cost_of(self, operator: str) -> float:
         """Estimated cost of one alternative.
@@ -83,6 +88,14 @@ class PlanExplanation:
         if self.estimator_tier:
             status = "degraded" if self.degraded else "primary"
             lines.append(f"  estimator: {self.estimator_tier} ({status})")
+        if self.preprocessing:
+            wall = self.preprocessing.get("wall_seconds", 0.0)
+            deduped = int(self.preprocessing.get("anchors_deduped", 0))
+            workers = int(self.preprocessing.get("workers", 0))
+            lines.append(
+                f"  preprocessing: {wall:.3f}s"
+                f" (workers={workers}, anchors deduped={deduped})"
+            )
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
@@ -101,6 +114,19 @@ def _record_provenance(explanation: PlanExplanation, estimator) -> None:
     explanation.degraded = explanation.degraded or outcome.degraded
     if outcome.degraded:
         explanation.notes.append(outcome.describe())
+
+
+def _record_preprocessing(explanation: PlanExplanation, estimator) -> None:
+    """Copy the estimator's preprocessing instrumentation, if any.
+
+    Works for raw estimators and fallback chains alike (the chain
+    merges across its built tiers); estimators without stats leave the
+    explanation's ``preprocessing`` dict empty.
+    """
+    stats = getattr(estimator, "preprocessing_stats", None)
+    if stats is None:
+        return
+    explanation.preprocessing.update(stats.as_dict())
 
 
 def plan_select(
@@ -146,6 +172,7 @@ def plan_select(
         selectivity=sigma,
     )
     _record_provenance(explanation, estimator)
+    _record_preprocessing(explanation, estimator)
     # Ties resolve toward the earlier entry; the full scan's sequential
     # pattern beats random-access browsing at equal block counts, and
     # the pruned browser dominates the plain one whenever applicable.
@@ -245,7 +272,9 @@ def plan_join(
     if cost_join <= cost_selects:
         explanation.chosen = LocalityJoinOperator.name
         _record_provenance(explanation, join_estimator)
+        _record_preprocessing(explanation, join_estimator)
         return LocalityJoinOperator(outer, inner, query, selectivity=sigma), explanation
     explanation.chosen = PerPointSelectsOperator.name
     _record_provenance(explanation, select_estimator)
+    _record_preprocessing(explanation, select_estimator)
     return PerPointSelectsOperator(outer, inner, query), explanation

@@ -42,6 +42,7 @@ from repro.estimators.staircase import StaircaseEstimator
 from repro.estimators.uniform_model import UniformModelEstimator
 from repro.estimators.virtual_grid import VirtualGridEstimator
 from repro.geometry import Point, Rect
+from repro.perf import resolve_workers
 from repro.resilience.errors import StaleCatalogError
 from repro.resilience.fallback import FallbackJoinEstimator, FallbackSelectEstimator
 
@@ -68,6 +69,11 @@ class _ManagedSelectTier(SelectCostEstimator):
         # The underlying estimator is owned (and its storage counted)
         # by the manager, not by the chain.
         return 0
+
+    @property
+    def preprocessing_stats(self):
+        """The managed estimator's build instrumentation."""
+        return getattr(self._get(), "preprocessing_stats", None)
 
 
 class StatisticsManager:
@@ -96,6 +102,9 @@ class StatisticsManager:
         breaker_cooldown: Calls a tripped tier is skipped for.
         estimate_time_budget: Per-call wall-clock budget (seconds) for
             one fallback tier; ``None`` disables it.
+        workers: Worker processes for catalog preprocessing fan-out
+            (``None``/0/1 builds in-process); threaded through to every
+            estimator the manager constructs.
     """
 
     def __init__(
@@ -111,11 +120,13 @@ class StatisticsManager:
         breaker_threshold: int = 3,
         breaker_cooldown: int = 16,
         estimate_time_budget: float | None = None,
+        workers: int | None = None,
     ) -> None:
         if join_technique not in ("catalog-merge", "virtual-grid"):
             raise ValueError(f"unknown join technique {join_technique!r}")
         if staleness_policy not in ("rebuild", "raise"):
             raise ValueError(f"unknown staleness policy {staleness_policy!r}")
+        self.workers = resolve_workers(workers)
         self.max_k = max_k
         self.join_technique: JoinTechnique = join_technique
         self.join_sample_size = join_sample_size
@@ -205,7 +216,7 @@ class StatisticsManager:
         if name not in self._select_estimators:
             table = self.table(name)
             self._select_estimators[name] = StaircaseEstimator(
-                table.index, max_k=self.max_k
+                table.index, max_k=self.max_k, workers=self.workers
             )
         return self._select_estimators[name]
 
@@ -242,6 +253,7 @@ class StatisticsManager:
                 inner_table.count_index,
                 sample_size=self.join_sample_size,
                 max_k=self.max_k,
+                workers=self.workers,
             )
         return self._virtual_grid(inner).for_outer(outer_table.count_index)
 
@@ -348,6 +360,7 @@ class StatisticsManager:
                 bounds=bounds,
                 grid_size=self.grid_size,
                 max_k=self.max_k,
+                workers=self.workers,
             )
         return self._grid_estimators[inner]
 

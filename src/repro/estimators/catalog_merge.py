@@ -16,13 +16,19 @@ from __future__ import annotations
 
 import time
 
-from repro.catalog import IntervalCatalog, catalog_storage_bytes, merge_sum
+from repro.catalog import (
+    IntervalCatalog,
+    catalog_storage_bytes,
+    merge_sum,
+    merge_sum_fast,
+)
 from repro.catalog.store import CatalogStore
 from repro.estimators.base import JoinCostEstimator, validate_k
 from repro.estimators.block_sample import sample_block_indices
 from repro.index.base import SpatialIndex
 from repro.index.count_index import CountIndex
 from repro.knn.locality import locality_size_profile
+from repro.perf import PreprocessingStats, locality_size_profiles, resolve_workers
 
 DEFAULT_MAX_K = 2_048
 
@@ -35,6 +41,13 @@ class CatalogMergeEstimator(JoinCostEstimator):
         inner: The inner relation's index or its Count-Index.
         sample_size: Number of outer blocks given temporary catalogs.
         max_k: Largest k the merged catalog supports.
+        workers: Worker processes for the locality-profile fan-out;
+            ``None``/0/1 computes in-process.
+        fast: Use the vectorized sum-merge (and, with ``workers``, the
+            profile fan-out).  Produces bit-for-bit the same catalog as
+            the reference min-heap plane sweep (asserted by the
+            equivalence suite); disable only to exercise the reference
+            path.
 
     Raises:
         ValueError: On empty relations or invalid parameters.
@@ -46,9 +59,13 @@ class CatalogMergeEstimator(JoinCostEstimator):
         inner: SpatialIndex | CountIndex,
         sample_size: int = 1_000,
         max_k: int = DEFAULT_MAX_K,
+        *,
+        workers: int | None = None,
+        fast: bool = True,
     ) -> None:
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
+        self._workers = resolve_workers(workers)
         inner_counts = inner if isinstance(inner, CountIndex) else CountIndex.from_index(inner)
         if inner_counts.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
@@ -57,17 +74,36 @@ class CatalogMergeEstimator(JoinCostEstimator):
             raise ValueError("cannot estimate joins over an empty outer relation")
 
         start = time.perf_counter()
+        stats = PreprocessingStats(technique="catalog-merge", workers=self._workers)
         sample = sample_block_indices(len(outer_rects), sample_size)
-        temporaries = []
-        for i in sample:
-            profile = locality_size_profile(inner_counts, outer_rects[i], max_k)
-            temporaries.append(
-                IntervalCatalog.from_profile(profile, max_k=max_k).truncated(max_k)
-            )
-        self._catalog = merge_sum(temporaries)
+        with stats.phase("profiles"):
+            if fast or self._workers > 1:
+                profiles = locality_size_profiles(
+                    inner_counts,
+                    [outer_rects[i] for i in sample],
+                    max_k,
+                    workers=self._workers,
+                )
+            else:
+                profiles = [
+                    locality_size_profile(inner_counts, outer_rects[i], max_k)
+                    for i in sample
+                ]
+        with stats.phase("merge"):
+            temporaries = [
+                IntervalCatalog.from_profile(p, max_k=max_k).truncated(max_k)
+                for p in profiles
+            ]
+            merge = merge_sum_fast if fast or self._workers > 1 else merge_sum
+            self._catalog = merge(temporaries)
         self._scale = len(outer_rects) / sample.shape[0]
         self._sample_size = int(sample.shape[0])
+        stats.anchors_total = self._sample_size
+        stats.anchors_unique = self._sample_size
+        stats.profiles_computed = self._sample_size
         self.preprocessing_seconds = time.perf_counter() - start
+        stats.wall_seconds = self.preprocessing_seconds
+        self.preprocessing_stats = stats
 
     def estimate(self, k: int) -> float:
         """Estimate the join cost via one catalog lookup.
@@ -127,5 +163,7 @@ class CatalogMergeEstimator(JoinCostEstimator):
         estimator._catalog = store.get("merged")
         estimator._scale = float(store.metadata["scale"])
         estimator._sample_size = int(store.metadata["sample_size"])
+        estimator._workers = 0
         estimator.preprocessing_seconds = 0.0
+        estimator.preprocessing_stats = PreprocessingStats(technique="catalog-merge")
         return estimator

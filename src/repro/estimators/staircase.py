@@ -29,7 +29,14 @@ from __future__ import annotations
 import time
 from typing import Literal, Sequence
 
-from repro.catalog import IntervalCatalog, catalog_storage_bytes, merge_max
+import numpy as np
+
+from repro.catalog import (
+    IntervalCatalog,
+    catalog_storage_bytes,
+    merge_max,
+    merge_max_fast,
+)
 from repro.catalog.store import CatalogStore
 from repro.estimators.base import SelectCostEstimator
 from repro.estimators.density import DensityBasedEstimator
@@ -38,7 +45,13 @@ from repro.index.base import Block
 from repro.index.count_index import CountIndex
 from repro.index.quadtree import Quadtree
 from repro.knn.distance_browsing import select_cost_profile
-from repro.resilience.errors import StaleCatalogError
+from repro.perf import (
+    BlockPointsView,
+    PreprocessingStats,
+    resolve_workers,
+    select_cost_profiles,
+)
+from repro.resilience.errors import CatalogCorruptError, StaleCatalogError
 from repro.resilience.guards import guard_estimate_inputs
 
 #: The paper maintains catalogs up to k = 10,000; the reproduction's
@@ -69,10 +82,63 @@ def build_select_catalog(
         holds fewer points.
     """
     profile = select_cost_profile(count_index, blocks, anchor, max_k)
+    return _catalog_from_profile(profile, max_k)
+
+
+def _catalog_from_profile(
+    profile: list[tuple[int, int, int]], max_k: int
+) -> IntervalCatalog:
+    """Materialize a profile as a catalog, as Procedure 1 does."""
     if not profile:
         # Empty dataset: scanning cost is zero for every k.
         return IntervalCatalog.constant(0.0, max_k)
     return IntervalCatalog.from_profile(profile, max_k=max_k).truncated(max_k)
+
+
+def _catalog_from_profile_fast(
+    profile: list[tuple[int, int, int]], max_k: int
+) -> IntervalCatalog:
+    """:func:`_catalog_from_profile` without per-entry revalidation.
+
+    ``select_cost_profile`` guarantees contiguous, increasing entries,
+    so the pad-to-``max_k`` + truncate-to-``max_k`` combination
+    collapses to one ``searchsorted``: keep entries strictly below
+    ``max_k`` and close the catalog with ``max_k`` at the running cost.
+    Produces bitwise-identical arrays to the validated path (covered by
+    the equivalence suite via ``to_store`` byte comparison).
+    """
+    if not profile:
+        return IntervalCatalog.constant(0.0, max_k)
+    arr = np.asarray(profile, dtype=np.int64)
+    k_end = arr[:, 1]
+    cut = min(int(np.searchsorted(k_end, max_k, side="left")), k_end.shape[0] - 1)
+    return IntervalCatalog._from_arrays(
+        np.concatenate([k_end[:cut], np.array([max_k], dtype=np.int64)]),
+        arr[: cut + 1, 2].astype(float),
+    )
+
+
+def _require_int_metadata(store: CatalogStore, field: str, minimum: int) -> int:
+    """Parse an integer metadata field, naming it on any failure.
+
+    Raises:
+        CatalogCorruptError: If the field is missing, not an integer,
+            or below ``minimum``.
+    """
+    raw = store.metadata.get(field)
+    if raw is None:
+        raise CatalogCorruptError(f"store metadata is missing field {field!r}")
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise CatalogCorruptError(
+            f"store metadata field {field!r} is not an integer: {raw!r}"
+        ) from None
+    if value < minimum:
+        raise CatalogCorruptError(
+            f"store metadata field {field!r} must be >= {minimum}, got {value}"
+        )
+    return value
 
 
 class StaircaseEstimator(SelectCostEstimator):
@@ -90,6 +156,14 @@ class StaircaseEstimator(SelectCostEstimator):
         max_k: Largest k served from catalogs; larger k falls back to
             the density-based estimator.
         variant: ``"center+corners"`` (Equations 1–2) or ``"center"``.
+        workers: Worker processes for the anchor fan-out; ``None``/0/1
+            builds in-process.
+        dedup: Share staircases between geometrically identical anchors
+            (interior auxiliary corners are shared by up to four
+            leaves).  The shared-anchor path produces bit-for-bit the
+            same catalogs as the reference per-leaf loop (asserted by
+            the equivalence suite); disable only to exercise the
+            reference path.
 
     Raises:
         ValueError: If no auxiliary index is available or parameters are
@@ -102,6 +176,9 @@ class StaircaseEstimator(SelectCostEstimator):
         aux_index: Quadtree | None = None,
         max_k: int = DEFAULT_MAX_K,
         variant: Variant = "center+corners",
+        *,
+        workers: int | None = None,
+        dedup: bool = True,
     ) -> None:
         if variant not in ("center", "center+corners"):
             raise ValueError(f"unknown variant {variant!r}")
@@ -118,29 +195,111 @@ class StaircaseEstimator(SelectCostEstimator):
         self._variant: Variant = variant
         self._max_k = max_k
         self._data_index = data_index
+        self._workers = resolve_workers(workers)
+        self._dedup = bool(dedup)
         #: Data generation the catalogs were built at (0 for immutable
         #: indexes, which never advance).
         self.built_at_generation = int(getattr(data_index, "data_generation", 0))
         self._count_index = CountIndex.from_index(data_index)
         self._fallback = DensityBasedEstimator(self._count_index)
         blocks = data_index.blocks
+        leaves = list(aux_index.leaves)
 
         start = time.perf_counter()
+        stats = PreprocessingStats(technique="staircase", workers=self._workers)
         self._center_catalogs: dict[int, IntervalCatalog] = {}
         self._corner_catalogs: dict[int, IntervalCatalog] = {}
-        for leaf_id, leaf in enumerate(aux_index.leaves):
-            rect: Rect = leaf.rect
-            self._center_catalogs[leaf_id] = build_select_catalog(
-                self._count_index, blocks, rect.center, max_k
-            )
-            if variant == "center+corners":
-                corner_catalogs = [
-                    build_select_catalog(self._count_index, blocks, corner, max_k)
-                    for corner in rect.corners()
-                ]
-                self._corner_catalogs[leaf_id] = merge_max(corner_catalogs)
-        self._leaf_ids = {id(leaf): leaf_id for leaf_id, leaf in enumerate(aux_index.leaves)}
+        if self._dedup or self._workers > 1:
+            self._build_shared(leaves, blocks, stats)
+        else:
+            self._build_reference(leaves, blocks, stats)
+        self._leaf_ids = {id(leaf): leaf_id for leaf_id, leaf in enumerate(leaves)}
         self.preprocessing_seconds = time.perf_counter() - start
+        stats.wall_seconds = self.preprocessing_seconds
+        self.preprocessing_stats = stats
+
+    def _build_reference(
+        self, leaves: list, blocks: Sequence[Block], stats: PreprocessingStats
+    ) -> None:
+        """The per-leaf reference build: one Procedure 1 run per anchor.
+
+        Every anchor's staircase is computed independently and corner
+        catalogs are merged with the paper's min-heap plane sweep.  The
+        shared-anchor path is validated against this loop bit for bit.
+        """
+        per_leaf = 5 if self._variant == "center+corners" else 1
+        stats.anchors_total = per_leaf * len(leaves)
+        stats.anchors_unique = stats.anchors_total
+        stats.profiles_computed = stats.anchors_total
+        with stats.phase("profiles"):
+            for leaf_id, leaf in enumerate(leaves):
+                rect: Rect = leaf.rect
+                self._center_catalogs[leaf_id] = build_select_catalog(
+                    self._count_index, blocks, rect.center, self._max_k
+                )
+                if self._variant == "center+corners":
+                    corner_catalogs = [
+                        build_select_catalog(
+                            self._count_index, blocks, corner, self._max_k
+                        )
+                        for corner in rect.corners()
+                    ]
+                    self._corner_catalogs[leaf_id] = merge_max(corner_catalogs)
+
+    def _build_shared(
+        self, leaves: list, blocks: Sequence[Block], stats: PreprocessingStats
+    ) -> None:
+        """Shared-anchor build: dedupe anchors, profile each one once.
+
+        All catalog anchors (leaf centers plus, for the center+corners
+        variant, the four leaf corners) are collected up front; anchors
+        with bit-identical coordinates — interior corners shared by up
+        to four sibling leaves — are profiled once and their staircase
+        shared.  Profiles go through the same ``select_cost_profile``
+        code as the reference path (only the distance gather is batched
+        via :class:`~repro.perf.BlockPointsView`), and are optionally
+        fanned out across worker processes.
+        """
+        anchor_ids: dict[tuple[float, float], int] = {}
+        anchors: list[Point] = []
+
+        def intern(anchor: Point) -> int:
+            if not self._dedup:
+                anchors.append(anchor)
+                return len(anchors) - 1
+            key = (anchor.x, anchor.y)
+            anchor_id = anchor_ids.get(key)
+            if anchor_id is None:
+                anchor_id = anchor_ids[key] = len(anchors)
+                anchors.append(anchor)
+            return anchor_id
+
+        with stats.phase("collect"):
+            center_ids: list[int] = []
+            corner_ids: list[tuple[int, ...]] = []
+            for leaf in leaves:
+                rect: Rect = leaf.rect
+                center_ids.append(intern(rect.center))
+                if self._variant == "center+corners":
+                    corner_ids.append(tuple(intern(c) for c in rect.corners()))
+            view = BlockPointsView.from_blocks(blocks)
+        per_leaf = 5 if self._variant == "center+corners" else 1
+        stats.anchors_total = per_leaf * len(leaves)
+        stats.anchors_unique = len(anchors)
+        stats.profiles_computed = len(anchors)
+
+        with stats.phase("profiles"):
+            profiles = select_cost_profiles(
+                self._count_index, view, anchors, self._max_k, self._workers
+            )
+        with stats.phase("assemble"):
+            catalogs = [_catalog_from_profile_fast(p, self._max_k) for p in profiles]
+            for leaf_id in range(len(leaves)):
+                self._center_catalogs[leaf_id] = catalogs[center_ids[leaf_id]]
+                if self._variant == "center+corners":
+                    self._corner_catalogs[leaf_id] = merge_max_fast(
+                        [catalogs[i] for i in corner_ids[leaf_id]]
+                    )
 
     # ------------------------------------------------------------------
     # Estimation (Section 3.3)
@@ -236,18 +395,41 @@ class StaircaseEstimator(SelectCostEstimator):
         Raises:
             ValueError: If the store does not describe a Staircase
                 estimator matching the given auxiliary index.
+            CatalogCorruptError: If the store's metadata is malformed —
+                unknown ``variant``, non-integer or out-of-range
+                ``max_k``/``n_leaves``/``data_generation``, or missing
+                fields.  (Also a ``ValueError``.)  Validating here keeps
+                a corrupted store from passing construction and
+                surfacing later as a bare ``KeyError`` inside
+                :meth:`estimate`.
             StaleCatalogError: If the store was built at an older data
                 generation than the index currently reports.
         """
         if store.metadata.get("technique") != "staircase":
             raise ValueError("store does not hold Staircase catalogs")
+        variant = store.metadata.get("variant")
+        if variant not in ("center", "center+corners"):
+            raise CatalogCorruptError(
+                f"store metadata field 'variant' is {variant!r}; expected "
+                "'center' or 'center+corners'"
+            )
+        max_k = _require_int_metadata(store, "max_k", minimum=1)
+        n_leaves = _require_int_metadata(store, "n_leaves", minimum=0)
         current_generation = int(getattr(data_index, "data_generation", 0))
         stored_generation = store.metadata.get("data_generation")
-        if stored_generation is not None and int(stored_generation) != current_generation:
-            raise StaleCatalogError(
-                f"store was built at data generation {stored_generation}, "
-                f"the index is now at {current_generation}"
-            )
+        if stored_generation is not None:
+            try:
+                stored_generation = int(stored_generation)
+            except (TypeError, ValueError):
+                raise CatalogCorruptError(
+                    f"store metadata field 'data_generation' is not an "
+                    f"integer: {stored_generation!r}"
+                ) from None
+            if stored_generation != current_generation:
+                raise StaleCatalogError(
+                    f"store was built at data generation {stored_generation}, "
+                    f"the index is now at {current_generation}"
+                )
         if aux_index is None:
             if not isinstance(data_index, Quadtree):
                 raise ValueError(
@@ -255,7 +437,6 @@ class StaircaseEstimator(SelectCostEstimator):
                     "the data index is not a quadtree (Section 3.3)"
                 )
             aux_index = data_index
-        n_leaves = int(store.metadata["n_leaves"])
         if n_leaves != len(aux_index.leaves):
             raise ValueError(
                 f"store was built over {n_leaves} auxiliary leaves, the "
@@ -263,8 +444,8 @@ class StaircaseEstimator(SelectCostEstimator):
             )
         estimator = cls.__new__(cls)
         estimator._aux = aux_index
-        estimator._variant = store.metadata["variant"]
-        estimator._max_k = int(store.metadata["max_k"])
+        estimator._variant = variant
+        estimator._max_k = max_k
         estimator._data_index = data_index
         estimator.built_at_generation = current_generation
         estimator._count_index = CountIndex.from_index(data_index)
@@ -272,13 +453,24 @@ class StaircaseEstimator(SelectCostEstimator):
         estimator._center_catalogs = {}
         estimator._corner_catalogs = {}
         for leaf_id in range(n_leaves):
-            estimator._center_catalogs[leaf_id] = store.get(f"center/{leaf_id}")
-            if estimator._variant == "center+corners":
-                estimator._corner_catalogs[leaf_id] = store.get(f"corners/{leaf_id}")
+            try:
+                estimator._center_catalogs[leaf_id] = store.get(f"center/{leaf_id}")
+                if estimator._variant == "center+corners":
+                    estimator._corner_catalogs[leaf_id] = store.get(
+                        f"corners/{leaf_id}"
+                    )
+            except KeyError as exc:
+                raise CatalogCorruptError(
+                    f"store is missing catalog entry {exc.args[0]!r} "
+                    f"(leaf {leaf_id} of {n_leaves})"
+                ) from None
         estimator._leaf_ids = {
             id(leaf): leaf_id for leaf_id, leaf in enumerate(aux_index.leaves)
         }
+        estimator._workers = 0
+        estimator._dedup = False
         estimator.preprocessing_seconds = 0.0
+        estimator.preprocessing_stats = PreprocessingStats(technique="staircase")
         return estimator
 
     # ------------------------------------------------------------------
@@ -293,6 +485,11 @@ class StaircaseEstimator(SelectCostEstimator):
     def max_k(self) -> int:
         """Largest k served from catalogs."""
         return self._max_k
+
+    @property
+    def workers(self) -> int:
+        """Worker processes the build was configured with (0 = serial)."""
+        return self._workers
 
     @property
     def is_stale(self) -> bool:

@@ -40,7 +40,7 @@ from repro.geometry import Rect
 from repro.index.base import SpatialIndex
 from repro.index.count_index import CountIndex
 from repro.index.grid import GridIndex
-from repro.knn.locality import locality_size_profile
+from repro.perf import PreprocessingStats, locality_size_profiles, resolve_workers
 
 DEFAULT_MAX_K = 2_048
 DEFAULT_GRID_SIZE = 10
@@ -61,6 +61,8 @@ class VirtualGridEstimator:
             (shared across all relations so the grids align).
         grid_size: Number of cells per axis (``g`` in a ``g x g`` grid).
         max_k: Largest k the per-cell catalogs support.
+        workers: Worker processes for the per-cell locality-profile
+            fan-out; ``None``/0/1 computes in-process.
 
     Raises:
         ValueError: On an empty inner relation or invalid parameters.
@@ -72,11 +74,14 @@ class VirtualGridEstimator:
         bounds: Rect,
         grid_size: int = DEFAULT_GRID_SIZE,
         max_k: int = DEFAULT_MAX_K,
+        *,
+        workers: int | None = None,
     ) -> None:
         if grid_size < 1:
             raise ValueError(f"grid_size must be >= 1, got {grid_size}")
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
+        self._workers = resolve_workers(workers)
         inner_counts = inner if isinstance(inner, CountIndex) else CountIndex.from_index(inner)
         if inner_counts.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
@@ -84,24 +89,33 @@ class VirtualGridEstimator:
         self._grid = GridIndex.virtual(bounds, grid_size)
 
         start = time.perf_counter()
-        self._cell_catalogs: list[IntervalCatalog] = []
-        for cell in self._grid.cells:
-            profile = locality_size_profile(inner_counts, cell, max_k)
-            self._cell_catalogs.append(
-                IntervalCatalog.from_profile(profile, max_k=max_k).truncated(max_k)
+        stats = PreprocessingStats(technique="virtual-grid", workers=self._workers)
+        with stats.phase("profiles"):
+            profiles = locality_size_profiles(
+                inner_counts, self._grid.cells, max_k, workers=self._workers
             )
-        # Padded matrices for one-shot vectorized lookup across all
-        # cells (padding with max_k keeps searchsorted semantics).
-        max_entries = max(c.n_entries for c in self._cell_catalogs)
-        n_cells = len(self._cell_catalogs)
-        self._k_end_matrix = np.full((n_cells, max_entries), max_k, dtype=np.int64)
-        self._cost_matrix = np.zeros((n_cells, max_entries))
-        for i, catalog in enumerate(self._cell_catalogs):
-            n = catalog.n_entries
-            self._k_end_matrix[i, :n] = catalog.k_ends
-            self._cost_matrix[i, :n] = catalog.costs
-            self._cost_matrix[i, n:] = catalog.costs[-1]
+        with stats.phase("assemble"):
+            self._cell_catalogs: list[IntervalCatalog] = [
+                IntervalCatalog.from_profile(p, max_k=max_k).truncated(max_k)
+                for p in profiles
+            ]
+            # Padded matrices for one-shot vectorized lookup across all
+            # cells (padding with max_k keeps searchsorted semantics).
+            max_entries = max(c.n_entries for c in self._cell_catalogs)
+            n_cells = len(self._cell_catalogs)
+            self._k_end_matrix = np.full((n_cells, max_entries), max_k, dtype=np.int64)
+            self._cost_matrix = np.zeros((n_cells, max_entries))
+            for i, catalog in enumerate(self._cell_catalogs):
+                n = catalog.n_entries
+                self._k_end_matrix[i, :n] = catalog.k_ends
+                self._cost_matrix[i, :n] = catalog.costs
+                self._cost_matrix[i, n:] = catalog.costs[-1]
+        stats.anchors_total = n_cells
+        stats.anchors_unique = n_cells
+        stats.profiles_computed = n_cells
         self.preprocessing_seconds = time.perf_counter() - start
+        stats.wall_seconds = self.preprocessing_seconds
+        self.preprocessing_stats = stats
 
     # ------------------------------------------------------------------
     # Estimation (Section 4.3.2)
@@ -288,7 +302,9 @@ class VirtualGridEstimator:
             estimator._k_end_matrix[i, :n] = np.minimum(catalog.k_ends, max_k)
             estimator._cost_matrix[i, :n] = catalog.costs
             estimator._cost_matrix[i, n:] = catalog.costs[-1]
+        estimator._workers = 0
         estimator.preprocessing_seconds = 0.0
+        estimator.preprocessing_stats = PreprocessingStats(technique="virtual-grid")
         return estimator
 
 
@@ -312,6 +328,7 @@ class BoundVirtualGridEstimator(JoinCostEstimator):
         self._outer = outer if isinstance(outer, CountIndex) else CountIndex.from_index(outer)
         self._assignment: Assignment = assignment
         self.preprocessing_seconds = grid_estimator.preprocessing_seconds
+        self.preprocessing_stats = grid_estimator.preprocessing_stats
 
     def estimate(self, k: int) -> float:
         """Estimate the bound pair's join cost."""

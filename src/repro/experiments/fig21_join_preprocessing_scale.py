@@ -32,6 +32,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     result.notes.append(
         "paper shape: Block-Sample 0; Catalog-Merge grows; Virtual-Grid ~constant"
     )
+    top_scale = config.scales[-1]
+    pair = join_support.catalog_merge_estimator(
+        config, top_scale, config.schema_sample_size
+    )
+    result.notes.append(
+        f"canonical pair at scale {top_scale}: {pair.preprocessing_stats.describe()}"
+    )
     return result
 
 

@@ -26,6 +26,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         title="k-NN-Join preprocessing time vs sample size (a) / grid size (b)",
         columns=("series", "parameter", "preprocessing_s"),
     )
+    estimator = grid = None
     for sample_size in config.sample_sizes:
         estimator = join_support.catalog_merge_estimator(config, scale, sample_size)
         result.add_row(
@@ -37,6 +38,12 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
             "b:virtual_grid", f"{grid_size}x{grid_size}", grid.preprocessing_seconds
         )
     result.notes.append("paper shape: both grow with their parameter")
+    if estimator is not None:
+        result.notes.append(
+            f"largest sample: {estimator.preprocessing_stats.describe()}"
+        )
+    if grid is not None:
+        result.notes.append(f"largest grid: {grid.preprocessing_stats.describe()}")
     return result
 
 

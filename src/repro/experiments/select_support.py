@@ -22,11 +22,19 @@ RELATION_SEED_STRIDE = 1
 
 @functools.lru_cache(maxsize=16)
 def staircase_estimator(
-    config: ExperimentConfig, scale: int, variant: str = "center+corners"
+    config: ExperimentConfig,
+    scale: int,
+    variant: str = "center+corners",
+    dedup: bool = True,
 ) -> StaircaseEstimator:
-    """Build (and cache) a Staircase estimator for one scale factor."""
+    """Build (and cache) a Staircase estimator for one scale factor.
+
+    ``dedup=False`` forces the serial reference build path — Figure 13
+    uses it to report the shared-anchor speedup (the catalogs are
+    bit-for-bit equal either way).
+    """
     index = build_index(scale, config.base_n, config.capacity, config.seed, config.dataset_kind)
-    return StaircaseEstimator(index, max_k=config.max_k, variant=variant)
+    return StaircaseEstimator(index, max_k=config.max_k, variant=variant, dedup=dedup)
 
 
 @functools.lru_cache(maxsize=16)

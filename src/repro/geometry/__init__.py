@@ -16,6 +16,7 @@ from repro.geometry.metrics import (
     mindist_rect_rect,
     maxdist_rect_rect,
     mindist_point_rects,
+    mindist_points_rects,
     maxdist_point_rects,
     mindist_rect_rects,
     maxdist_rect_rects,
@@ -32,6 +33,7 @@ __all__ = [
     "mindist_rect_rect",
     "maxdist_rect_rect",
     "mindist_point_rects",
+    "mindist_points_rects",
     "maxdist_point_rects",
     "mindist_rect_rects",
     "maxdist_rect_rects",

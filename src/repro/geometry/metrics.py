@@ -102,6 +102,25 @@ def mindist_point_rects(p: Point, rects: Sequence[Rect] | np.ndarray) -> np.ndar
     return np.hypot(dx, dy)
 
 
+def mindist_points_rects(
+    points: np.ndarray, rects: Sequence[Rect] | np.ndarray
+) -> np.ndarray:
+    """``(m, n)`` MINDIST matrix of many points against many rectangles.
+
+    Row ``i`` is elementwise identical to
+    ``mindist_point_rects(points[i], rects)`` — the broadcast applies
+    the same ufunc operations — so batching callers (the preprocessing
+    fan-out) stay bit-for-bit compatible with the per-point path.
+    """
+    bounds = _as_bounds_array(rects)
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    x = pts[:, 0][:, None]
+    y = pts[:, 1][:, None]
+    dx = np.maximum(np.maximum(bounds[None, :, 0] - x, 0.0), x - bounds[None, :, 2])
+    dy = np.maximum(np.maximum(bounds[None, :, 1] - y, 0.0), y - bounds[None, :, 3])
+    return np.hypot(dx, dy)
+
+
 def maxdist_point_rects(p: Point, rects: Sequence[Rect] | np.ndarray) -> np.ndarray:
     """Vectorized :func:`maxdist_point_rect` against many rectangles."""
     bounds = _as_bounds_array(rects)

@@ -147,6 +147,8 @@ def select_cost_profile(
     blocks,
     query: Point,
     max_k: int,
+    *,
+    mindists_all: np.ndarray | None = None,
 ) -> list[tuple[int, int, int]]:
     """Compute the full cost-vs-k staircase at ``query`` in one pass.
 
@@ -160,9 +162,17 @@ def select_cost_profile(
             MINDIST ordering without touching points).
         blocks: The data blocks themselves, indexable by the
             Count-Index block order (catalog *construction* is the one
-            offline step that does read points).
+            offline step that does read points).  A columnar
+            :class:`repro.perf.BlockPointsView` is also accepted and
+            answers the distance gather in one batched call.
         query: The anchor point.
         max_k: Largest k the profile must cover.
+        mindists_all: Optional precomputed
+            ``count_index.mindist_from_point(query)`` array.  Batching
+            callers (:func:`repro.perf.select_cost_profiles`) compute
+            the MINDIST matrix of many anchors at once; the values must
+            be identical to the per-point path (and are, see
+            :func:`repro.geometry.mindist_points_rects`).
 
     Returns:
         A list of ``(k_start, k_end, cost)`` entries with contiguous,
@@ -178,7 +188,8 @@ def select_cost_profile(
     n_blocks = count_index.n_blocks
     if n_blocks == 0:
         return []
-    mindists_all = count_index.mindist_from_point(query)
+    if mindists_all is None:
+        mindists_all = count_index.mindist_from_point(query)
 
     # Only the blocks nearest to the query matter, but how many is not
     # known in advance (low-density areas can force scanning far beyond
@@ -205,14 +216,33 @@ def select_cost_profile(
         # One concatenated sort answers every per-step threshold: every
         # point in a block beyond position i lies at distance >= that
         # block's MINDIST >= the step-i threshold, so counting over the
-        # whole prefix never overcounts an earlier step.
-        dists = np.concatenate([blocks[i].distances_from(query) for i in order])
-        dists.sort(kind="stable")
+        # whole prefix never overcounts an earlier step.  A columnar
+        # block container (repro.perf.BlockPointsView) may answer the
+        # gather in one batched call; the values are elementwise
+        # identical to the per-block path.
+        gather = getattr(blocks, "gathered_distances", None)
+        if gather is not None:
+            dists = gather(order, query)
+        else:
+            dists = np.concatenate([blocks[i].distances_from(query) for i in order])
+            dists.sort(kind="stable")
         # Threshold after scanning block i is the next block's MINDIST.
         thresholds = np.empty(prefix, dtype=float)
         thresholds[: prefix - 1] = mindists[1:prefix]
         thresholds[prefix - 1] = beyond
-        retrievable = np.searchsorted(dists, thresholds, side="left")
+        if gather is not None:
+            # Counting without the O(n log n) distance sort: thresholds
+            # are ascending (block MINDISTs in scan order), so binning
+            # each distance into its first exceeding threshold and
+            # prefix-summing the bin sizes yields exactly
+            # #{dist < thresholds[i]} — the same integers the sorted
+            # path produces via binary search.
+            first_above = np.searchsorted(thresholds, dists, side="right")
+            retrievable = np.cumsum(
+                np.bincount(first_above, minlength=prefix + 1)[:prefix]
+            )
+        else:
+            retrievable = np.searchsorted(dists, thresholds, side="left")
         if retrievable[-1] >= max_k or candidates >= n_blocks:
             break
         candidates = min(n_blocks, candidates * 2)

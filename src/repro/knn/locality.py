@@ -20,6 +20,25 @@ counts ``S_i`` and running maxima ``M_i = max(MAXDIST(b_1..b_i))``, the
 locality size for every ``k`` in ``[S_{i-1}+1, S_i]`` is
 ``#{b : MINDIST(b) <= M_i}``; consecutive equal-cost ranges are merged
 (the paper's redundant-entry elimination).
+
+Zero-count-block semantics
+--------------------------
+:func:`locality_block_indices` (the per-k query path) and
+:func:`locality_size_profile` (the all-k staircase path) must agree for
+every ``k`` — the profile is the Catalog-Merge/Virtual-Grid
+preprocessing input, while the per-k path is the oracle the tests
+compare against.  The one place the two formulations *could* diverge is
+an inner block holding zero points: the per-k path marks ``M`` at the
+first prefix whose cumulative count reaches ``k`` (a zero-count block
+never advances the cumulative sum but could still raise the running
+MAXDIST), whereas the staircase path emits one range per *count-bearing*
+prefix and skips ranges a zero-count block would terminate.  By
+construction this cannot happen here: :class:`~repro.index.count_index.
+CountIndex` rejects non-positive block counts (the Count-Index only
+tracks non-empty blocks, per DESIGN.md §5), so every prefix strictly
+increases the cumulative count and the two paths are equal for every
+``k`` in ``[1, total inner points]`` — property-tested in
+``tests/test_perf_parallel.py`` (``test_locality_profile_matches_per_k``).
 """
 
 from __future__ import annotations

@@ -264,6 +264,27 @@ class _FallbackChain:
         # chain derives the value from its tiers, so assignment is a no-op.
         pass
 
+    @property
+    def preprocessing_stats(self):
+        """Merged :class:`~repro.perf.PreprocessingStats` of built tiers.
+
+        Counters and phase timings are summed across every tier built so
+        far; returns ``None`` when no built tier carries stats.
+        """
+        from repro.perf import PreprocessingStats
+
+        collected = [
+            stats
+            for stats in (
+                getattr(est, "preprocessing_stats", None)
+                for est in self._instances.values()
+            )
+            if stats is not None
+        ]
+        if not collected:
+            return None
+        return PreprocessingStats.merged(collected)
+
 
 class FallbackSelectEstimator(_FallbackChain, SelectCostEstimator):
     """A k-NN-Select estimator that degrades through a tier chain.

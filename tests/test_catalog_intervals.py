@@ -144,9 +144,14 @@ class TestTransformations:
         assert cut.lookup(8) == 2.0
         assert cut.n_entries == 2
 
-    def test_truncated_noop_when_larger(self):
+    def test_truncated_returns_distinct_object_when_larger(self):
+        # The docstring promises a copy callers may treat as their own;
+        # returning self leaked identity (and with it, shared-ownership
+        # bugs) even though no truncation happened.
         cat = IntervalCatalog.constant(1.0, 10)
-        assert cat.truncated(50) is cat
+        cut = cat.truncated(50)
+        assert cut is not cat
+        assert cut == cat
 
     def test_truncated_at_boundary(self):
         cat = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
@@ -182,3 +187,59 @@ class TestValueSemantics:
         cat = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
         assert len(cat) == 2
         assert "IntervalCatalog" in repr(cat)
+
+
+class TestImmutability:
+    """Catalogs are value objects: the backing arrays are frozen, so
+    transformations may alias them without aliasing hazards."""
+
+    def test_k_ends_writes_raise(self):
+        cat = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
+        with pytest.raises(ValueError):
+            cat.k_ends[0] = 99
+
+    def test_costs_writes_raise(self):
+        cat = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
+        with pytest.raises(ValueError):
+            cat.costs[0] = 99.0
+
+    def test_scaled_does_not_alias_mutably(self):
+        # Regression: scaled() shares the frozen k_end array; a caller
+        # must not be able to corrupt the parent through the clone.
+        parent = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
+        clone = parent.scaled(3.0)
+        with pytest.raises(ValueError):
+            clone.k_ends[0] = 99
+        with pytest.raises(ValueError):
+            clone.costs[0] = -1.0
+        assert parent.lookup(1) == 1.0
+        assert clone.lookup(1) == 3.0
+
+    def test_truncated_clone_is_frozen(self):
+        parent = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
+        for clone in (parent.truncated(7), parent.truncated(50)):
+            with pytest.raises(ValueError):
+                clone.k_ends[0] = 99
+            with pytest.raises(ValueError):
+                clone.costs[0] = 99.0
+        assert parent.lookup(10) == 2.0
+
+    def test_coalesced_clone_is_frozen(self):
+        parent = IntervalCatalog([(1, 5, 1.0), (6, 10, 1.0), (11, 20, 3.0)])
+        clone = parent.coalesced()
+        with pytest.raises(ValueError):
+            clone.costs[0] = 99.0
+        assert parent.n_entries == 3
+
+    def test_hash_stable_across_transformations(self):
+        cat = IntervalCatalog([(1, 5, 1.0), (6, 10, 2.0)])
+        before = hash(cat)
+        cat.scaled(2.0)
+        cat.truncated(7)
+        cat.coalesced()
+        assert hash(cat) == before
+
+    def test_from_profile_arrays_frozen(self):
+        cat = IntervalCatalog.from_profile([(1, 4, 2.0)], max_k=10)
+        assert not cat.k_ends.flags.writeable
+        assert not cat.costs.flags.writeable

@@ -183,3 +183,91 @@ class TestCatalogBuilding:
             cat = build_select_catalog(ci, tree.blocks, anchor, 200)
             for k in (1, 7, 50, 200):
                 assert cat.lookup(k) == select_cost(tree, anchor, k)
+
+
+class TestFromStoreValidation:
+    """A corrupted store must be rejected at load time with an error
+    naming the bad field — not pass construction and explode later as a
+    bare ``KeyError`` inside ``estimate``."""
+
+    @pytest.fixture(scope="class")
+    def small_tree(self):
+        from repro.datasets import generate_osm_like
+
+        return Quadtree(generate_osm_like(1_500, seed=9), capacity=64)
+
+    @pytest.fixture(scope="class")
+    def store(self, small_tree):
+        return StaircaseEstimator(small_tree, max_k=32).to_store()
+
+    @staticmethod
+    def _reload(small_tree, store):
+        from repro.catalog.store import CatalogStore
+
+        clone = CatalogStore.from_bytes(store.to_bytes())
+        return StaircaseEstimator.from_store(small_tree, clone)
+
+    def test_round_trip_loads(self, small_tree, store):
+        est = self._reload(small_tree, store)
+        q = Point(500.0, 500.0)
+        fresh = StaircaseEstimator(small_tree, max_k=32)
+        assert est.estimate(q, 16) == fresh.estimate(q, 16)
+
+    def test_unknown_variant_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        bad.metadata["variant"] = "bogus"
+        with pytest.raises(CatalogCorruptError, match="variant"):
+            StaircaseEstimator.from_store(small_tree, bad)
+
+    def test_non_integer_max_k_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        bad.metadata["max_k"] = "banana"
+        with pytest.raises(CatalogCorruptError, match="max_k"):
+            StaircaseEstimator.from_store(small_tree, bad)
+
+    def test_out_of_range_max_k_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        bad.metadata["max_k"] = "0"
+        with pytest.raises(CatalogCorruptError, match="max_k"):
+            StaircaseEstimator.from_store(small_tree, bad)
+
+    def test_missing_metadata_field_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        del bad.metadata["n_leaves"]
+        with pytest.raises(CatalogCorruptError, match="n_leaves"):
+            StaircaseEstimator.from_store(small_tree, bad)
+
+    def test_missing_catalog_entry_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        del bad._catalogs["corners/0"]
+        with pytest.raises(CatalogCorruptError, match="corners/0"):
+            StaircaseEstimator.from_store(small_tree, bad)
+
+    def test_corrupt_error_is_a_value_error(self):
+        from repro.resilience.errors import CatalogCorruptError
+
+        assert issubclass(CatalogCorruptError, ValueError)
+
+    def test_non_integer_data_generation_rejected(self, small_tree, store):
+        from repro.catalog.store import CatalogStore
+        from repro.resilience.errors import CatalogCorruptError
+
+        bad = CatalogStore.from_bytes(store.to_bytes())
+        bad.metadata["data_generation"] = "later"
+        with pytest.raises(CatalogCorruptError, match="data_generation"):
+            StaircaseEstimator.from_store(small_tree, bad)
