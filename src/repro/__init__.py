@@ -33,10 +33,12 @@ from repro.index import (
     CountIndex,
     GridIndex,
     HierarchicalCountIndex,
+    IndexSnapshot,
     MutableQuadtree,
     Quadtree,
     RTree,
     SpatialIndex,
+    as_snapshot,
 )
 from repro.knn import (
     DistanceBrowser,
@@ -100,10 +102,12 @@ __all__ = [
     "CountIndex",
     "GridIndex",
     "HierarchicalCountIndex",
+    "IndexSnapshot",
     "MutableQuadtree",
     "Quadtree",
     "RTree",
     "SpatialIndex",
+    "as_snapshot",
     # knn operators
     "DistanceBrowser",
     "brute_force_knn",

@@ -45,7 +45,7 @@ from repro.estimators import (
 )
 from repro.estimators import UniformModelEstimator
 from repro.geometry import Point
-from repro.index import CountIndex, Quadtree
+from repro.index import IndexSnapshot, Quadtree
 from repro.knn import knn_join_cost, select_cost_exact, select_cost_profile
 from repro.resilience.errors import EstimationError
 from repro.resilience.guards import require_finite_coordinates
@@ -89,6 +89,8 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
         f"({bounds.x_min:.2f}, {bounds.y_min:.2f}) .. "
         f"({bounds.x_max:.2f}, {bounds.y_max:.2f})"
     )
+    snapshot = IndexSnapshot.from_index(index)
+    print(f"snapshot:      {snapshot.describe()}, {snapshot.storage_bytes()} bytes")
     return 0
 
 
@@ -104,10 +106,10 @@ def _cmd_visualize(args: argparse.Namespace) -> int:
 
 def _cmd_staircase(args: argparse.Namespace) -> int:
     index = _load_index(args.points, args.capacity)
-    counts = CountIndex.from_index(index)
+    snapshot = IndexSnapshot.from_index(index)
     require_finite_coordinates(args.x, args.y, "anchor point")
     anchor = Point(args.x, args.y)
-    profile = select_cost_profile(counts, index.blocks, anchor, args.max_k)
+    profile = select_cost_profile(snapshot, index.blocks, anchor, args.max_k)
     print(f"{'k_start':>8} {'k_end':>8} {'cost':>6}")
     for k_start, k_end, cost in profile:
         print(f"{k_start:>8} {min(k_end, args.max_k):>8} {cost:>6}")
@@ -119,7 +121,8 @@ def _cmd_staircase(args: argparse.Namespace) -> int:
 
 def _cmd_estimate_select(args: argparse.Namespace) -> int:
     index = _load_index(args.points, args.capacity)
-    counts = CountIndex.from_index(index)
+    # One columnar gather serves the estimators and the ground truth.
+    snapshot = IndexSnapshot.from_index(index)
     require_finite_coordinates(args.x, args.y, "query point")
     query = Point(args.x, args.y)
 
@@ -129,9 +132,10 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
             max_k=args.max_k,
             workers=args.workers,
             dedup=not args.no_dedup,
+            snapshot=snapshot,
         ),
-        "density": lambda: DensityBasedEstimator(counts),
-        "uniform-model": lambda: UniformModelEstimator(counts),
+        "density": lambda: DensityBasedEstimator(snapshot),
+        "uniform-model": lambda: UniformModelEstimator(snapshot),
     }
     if args.strict:
         estimator = factories[args.technique]()
@@ -146,7 +150,7 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     estimate = estimator.estimate(query, args.k)
     elapsed = time.perf_counter() - start
-    actual = select_cost_exact(counts, index.blocks, query, args.k)
+    actual = select_cost_exact(snapshot, index.blocks, query, args.k)
     error = abs(estimate - actual) / max(actual, 1)
     print(f"technique:  {args.technique}")
     print(f"estimate:   {estimate:.2f} blocks ({elapsed * 1e6:.1f} us)")
@@ -174,25 +178,27 @@ def _print_preprocessing(estimator) -> None:
 def _cmd_estimate_join(args: argparse.Namespace) -> int:
     outer = _load_index(args.outer, args.capacity)
     inner = _load_index(args.inner, args.capacity)
-    inner_counts = CountIndex.from_index(inner)
+    # One columnar gather per relation, shared by every technique tier.
+    outer_snapshot = IndexSnapshot.from_index(outer)
+    inner_snapshot = IndexSnapshot.from_index(inner)
 
     factories = {
         "catalog-merge": lambda: CatalogMergeEstimator(
-            outer,
-            inner_counts,
+            outer_snapshot,
+            inner_snapshot,
             sample_size=args.sample_size,
             max_k=args.max_k,
             workers=args.workers,
         ),
         "virtual-grid": lambda: VirtualGridEstimator(
-            inner_counts,
+            inner_snapshot,
             bounds=outer.bounds.union(inner.bounds),
             grid_size=args.grid_size,
             max_k=args.max_k,
             workers=args.workers,
-        ).for_outer(outer),
+        ).for_outer(outer_snapshot),
         "block-sample": lambda: BlockSampleEstimator(
-            outer, inner_counts, sample_size=args.sample_size
+            outer_snapshot, inner_snapshot, sample_size=args.sample_size
         ),
     }
     if args.strict:

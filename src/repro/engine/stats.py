@@ -42,6 +42,7 @@ from repro.estimators.staircase import StaircaseEstimator
 from repro.estimators.uniform_model import UniformModelEstimator
 from repro.estimators.virtual_grid import VirtualGridEstimator
 from repro.geometry import Point, Rect
+from repro.index.snapshot import IndexSnapshot
 from repro.perf import resolve_workers
 from repro.resilience.errors import StaleCatalogError
 from repro.resilience.fallback import FallbackJoinEstimator, FallbackSelectEstimator
@@ -139,6 +140,7 @@ class StatisticsManager:
         self.breaker_cooldown = breaker_cooldown
         self.estimate_time_budget = estimate_time_budget
         self._tables: dict[str, SpatialTable] = {}
+        self._snapshots: dict[str, IndexSnapshot] = {}
         self._select_estimators: dict[str, StaircaseEstimator] = {}
         self._density_estimators: dict[str, DensityBasedEstimator] = {}
         self._pair_estimators: dict[tuple[str, str], JoinCostEstimator] = {}
@@ -153,6 +155,7 @@ class StatisticsManager:
     def register(self, table: SpatialTable) -> None:
         """Register a relation (replacing drops its cached statistics)."""
         self._tables[table.name] = table
+        self._snapshots.pop(table.name, None)
         self._select_estimators.pop(table.name, None)
         self._density_estimators.pop(table.name, None)
         self._grid_estimators.pop(table.name, None)
@@ -191,6 +194,46 @@ class StatisticsManager:
         return tuple(self._tables)
 
     # ------------------------------------------------------------------
+    # Snapshot cache: one block-summary gather shared by every estimator
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str, *, on_stale: StalenessPolicy | None = None) -> IndexSnapshot:
+        """The relation's cached :class:`IndexSnapshot` (one per table).
+
+        Every estimator the manager builds consumes this summary, so the
+        per-leaf gather happens once per table per data generation.  A
+        cached snapshot whose ``data_generation`` no longer matches the
+        table's index is stale and handled per ``staleness_policy``.
+
+        Args:
+            name: Registered table name.
+            on_stale: Per-call staleness override.  The catalog-free
+                tiers (density, block-sample) pass ``"rebuild"`` so a
+                mutated index degrades to a re-gather instead of an
+                error, even under the global ``"raise"`` policy.
+
+        Raises:
+            KeyError: For unknown table names.
+            StaleCatalogError: Under the ``"raise"`` policy when the
+                cached snapshot is stale.
+        """
+        table = self.table(name)
+        current = int(getattr(table.index, "data_generation", 0))
+        cached = self._snapshots.get(name)
+        if cached is not None and cached.data_generation != current:
+            policy = on_stale or self.staleness_policy
+            if policy == "raise":
+                raise StaleCatalogError(
+                    f"snapshot of table {name!r} was gathered at data "
+                    f"generation {cached.data_generation}; the index is now "
+                    f"at {current} (policy: raise)"
+                )
+            del self._snapshots[name]
+            cached = None
+        if cached is None:
+            cached = self._snapshots[name] = IndexSnapshot.from_index(table.index)
+        return cached
+
+    # ------------------------------------------------------------------
     # Estimators (lazy, cached)
     # ------------------------------------------------------------------
     def select_estimator(self, name: str) -> StaircaseEstimator:
@@ -216,16 +259,21 @@ class StatisticsManager:
         if name not in self._select_estimators:
             table = self.table(name)
             self._select_estimators[name] = StaircaseEstimator(
-                table.index, max_k=self.max_k, workers=self.workers
+                table.index,
+                max_k=self.max_k,
+                workers=self.workers,
+                snapshot=self.snapshot(name),
             )
         return self._select_estimators[name]
 
     def density_estimator(self, name: str) -> DensityBasedEstimator:
         """The density-based (no-preprocessing) estimator of a relation."""
         if name not in self._density_estimators:
-            self._density_estimators[name] = DensityBasedEstimator(
-                self.table(name).count_index
-            )
+            snapshot = self.snapshot(name, on_stale="rebuild")
+            if snapshot.n_blocks == 0:
+                # Preserve the empty-table error shape of count_index.
+                raise ValueError(f"table {name!r} is empty")
+            self._density_estimators[name] = DensityBasedEstimator(snapshot)
         return self._density_estimators[name]
 
     def join_estimator(self, outer: str, inner: str) -> JoinCostEstimator:
@@ -245,17 +293,17 @@ class StatisticsManager:
         The fallback chain needs the *other* technique as its secondary
         tier regardless of which one is configured as primary.
         """
-        outer_table = self.table(outer)
-        inner_table = self.table(inner)
+        self.table(outer)
+        self.table(inner)
         if technique == "catalog-merge":
             return CatalogMergeEstimator(
-                outer_table.index,
-                inner_table.count_index,
+                self.snapshot(outer),
+                self.snapshot(inner),
                 sample_size=self.join_sample_size,
                 max_k=self.max_k,
                 workers=self.workers,
             )
-        return self._virtual_grid(inner).for_outer(outer_table.count_index)
+        return self._virtual_grid(inner).for_outer(self.snapshot(outer))
 
     # ------------------------------------------------------------------
     # Resilient estimators: what the planner actually talks to
@@ -322,8 +370,8 @@ class StatisticsManager:
                     (
                         "block-sample",
                         lambda: BlockSampleEstimator(
-                            self.table(outer).index,
-                            self.table(inner).count_index,
+                            self.snapshot(outer, on_stale="rebuild"),
+                            self.snapshot(inner, on_stale="rebuild"),
                             sample_size=self.join_sample_size,
                         ),
                     ),
@@ -356,7 +404,7 @@ class StatisticsManager:
             inner_table = self.table(inner)
             bounds = self.world_bounds or inner_table.index.bounds
             self._grid_estimators[inner] = VirtualGridEstimator(
-                inner_table.count_index,
+                self.snapshot(inner),
                 bounds=bounds,
                 grid_size=self.grid_size,
                 max_k=self.max_k,

@@ -25,8 +25,7 @@ from repro.catalog import (
 from repro.catalog.store import CatalogStore
 from repro.estimators.base import JoinCostEstimator, validate_k
 from repro.estimators.block_sample import sample_block_indices
-from repro.index.base import SpatialIndex
-from repro.index.count_index import CountIndex
+from repro.index.snapshot import as_snapshot
 from repro.knn.locality import locality_size_profile
 from repro.perf import PreprocessingStats, locality_size_profiles, resolve_workers
 
@@ -37,8 +36,9 @@ class CatalogMergeEstimator(JoinCostEstimator):
     """Catalog-Merge join-cost estimation for one (outer, inner) pair.
 
     Args:
-        outer: Index of the outer relation.
-        inner: The inner relation's index or its Count-Index.
+        outer: Block summary of the outer relation (index, Count-Index,
+            or snapshot).
+        inner: Block summary of the inner relation.
         sample_size: Number of outer blocks given temporary catalogs.
         max_k: Largest k the merged catalog supports.
         workers: Worker processes for the locality-profile fan-out;
@@ -55,8 +55,8 @@ class CatalogMergeEstimator(JoinCostEstimator):
 
     def __init__(
         self,
-        outer: SpatialIndex,
-        inner: SpatialIndex | CountIndex,
+        outer,
+        inner,
         sample_size: int = 1_000,
         max_k: int = DEFAULT_MAX_K,
         *,
@@ -66,28 +66,30 @@ class CatalogMergeEstimator(JoinCostEstimator):
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         self._workers = resolve_workers(workers)
-        inner_counts = inner if isinstance(inner, CountIndex) else CountIndex.from_index(inner)
-        if inner_counts.n_blocks == 0:
+        inner_snap = as_snapshot(inner)
+        if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
-        outer_rects = [b.rect for b in outer.blocks]
-        if not outer_rects:
+        outer_snap = as_snapshot(outer)
+        n_outer = outer_snap.n_blocks
+        if n_outer == 0:
             raise ValueError("cannot estimate joins over an empty outer relation")
 
         start = time.perf_counter()
         stats = PreprocessingStats(technique="catalog-merge", workers=self._workers)
-        sample = sample_block_indices(len(outer_rects), sample_size)
+        sample = sample_block_indices(n_outer, sample_size)
+        sampled_rects = outer_snap.rects[sample]
         with stats.phase("profiles"):
             if fast or self._workers > 1:
                 profiles = locality_size_profiles(
-                    inner_counts,
-                    [outer_rects[i] for i in sample],
+                    inner_snap,
+                    sampled_rects,
                     max_k,
                     workers=self._workers,
                 )
             else:
                 profiles = [
-                    locality_size_profile(inner_counts, outer_rects[i], max_k)
-                    for i in sample
+                    locality_size_profile(inner_snap, rect, max_k)
+                    for rect in sampled_rects
                 ]
         with stats.phase("merge"):
             temporaries = [
@@ -96,7 +98,7 @@ class CatalogMergeEstimator(JoinCostEstimator):
             ]
             merge = merge_sum_fast if fast or self._workers > 1 else merge_sum
             self._catalog = merge(temporaries)
-        self._scale = len(outer_rects) / sample.shape[0]
+        self._scale = n_outer / sample.shape[0]
         self._sample_size = int(sample.shape[0])
         stats.anchors_total = self._sample_size
         stats.anchors_unique = self._sample_size

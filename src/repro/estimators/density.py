@@ -20,30 +20,49 @@ The estimator maintains no catalogs: its storage overhead is just the
 Count-Index densities (Figure 14) and its estimation time grows with
 ``k`` because low densities or large ``k`` force the scan to keep
 extending its search region (Figure 12) — both effects reproduce.
+
+Since the snapshot refactor the expanding scan is fully vectorized over
+the :class:`~repro.index.snapshot.IndexSnapshot` columns: cumulative
+densities, ``D_k`` radii and the termination index come out of one
+ufunc chain whose floating-point operation order matches the original
+scalar loop exactly (sequential ``cumsum`` accumulation, elementwise
+division and square root), so estimates are bit-identical to the
+per-leaf path — asserted by ``tests/test_snapshot_equivalence.py``.
+:meth:`DensityBasedEstimator.estimate_many` answers a whole query batch
+with one ``(m, n)`` tableau.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
 from repro.estimators.base import SelectCostEstimator, validate_k
 from repro.geometry import Point
-from repro.index.count_index import CountIndex
+from repro.geometry.kernels import as_anchor, mindist_rects_batch
+from repro.index.snapshot import IndexSnapshot, as_snapshot
 
 
 class DensityBasedEstimator(SelectCostEstimator):
-    """Density-based select-cost estimation over a Count-Index.
+    """Density-based select-cost estimation over block summaries.
 
     Args:
-        count_index: Count-Index of the data index's blocks.
+        count_index: Block summary of the data index — a
+            :class:`~repro.index.count_index.CountIndex`, an
+            :class:`~repro.index.snapshot.IndexSnapshot`, or the index
+            itself (anything
+            :func:`~repro.index.snapshot.as_snapshot` accepts).
     """
 
-    def __init__(self, count_index: CountIndex) -> None:
-        if count_index.n_blocks == 0:
+    def __init__(self, count_index) -> None:
+        snapshot = as_snapshot(count_index)
+        if snapshot.n_blocks == 0:
             raise ValueError("cannot estimate over an empty index")
-        self._count_index = count_index
+        self._snapshot = snapshot
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The block summary the estimator scans."""
+        return self._snapshot
 
     def estimate(self, query: Point, k: int) -> float:
         """Estimate the distance-browsing cost of ``σ_kNN,query``.
@@ -68,33 +87,93 @@ class DensityBasedEstimator(SelectCostEstimator):
         d_k, __ = self._expand_search(query, k)
         return d_k
 
+    def estimate_many(self, queries, k: int) -> np.ndarray:
+        """Estimate costs for a whole batch of query points at once.
+
+        One ``(m, n)`` MINDIST tableau covers every query; each row
+        reproduces :meth:`estimate` bit for bit (same sort order, same
+        accumulation order, same ufunc chain).
+
+        Args:
+            queries: ``(m, 2)`` array of query coordinates.
+            k: Number of neighbors.
+
+        Returns:
+            ``(m,)`` float array of cost estimates.
+        """
+        validate_k(k)
+        queries = np.asarray(queries, dtype=float).reshape(-1, 2)
+        m = queries.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=float)
+        snap = self._snapshot
+        n = snap.n_blocks
+        mindists = mindist_rects_batch(queries, snap.rects)
+        order = np.argsort(mindists, axis=1, kind="stable")
+        sorted_min = np.take_along_axis(mindists, order, axis=1)
+        d_k, stop = self._dk_tableau(sorted_min, snap.counts[order], snap.areas[order], k)
+        rows = np.arange(m)
+        final = d_k[rows, stop]
+        # Degenerate geometry (zero combined area throughout): fall back
+        # to the farthest examined MINDIST, as the scalar path does.
+        degenerate = ~np.isfinite(final)
+        if np.any(degenerate):
+            final[degenerate] = sorted_min[
+                rows[degenerate], np.minimum(stop[degenerate] + 1, n - 1)
+            ]
+        costs = (sorted_min < final[:, None]).sum(axis=1)
+        return np.maximum(costs, 1).astype(float)
+
+    @staticmethod
+    def _dk_tableau(
+        sorted_min: np.ndarray, counts: np.ndarray, areas: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-prefix ``D_k`` radii and the termination index per row.
+
+        Args:
+            sorted_min: ``(m, n)`` MINDISTs in scan order.
+            counts: ``(m, n)`` block counts in the same order.
+            areas: ``(m, n)`` block areas in the same order.
+            k: Number of neighbors.
+
+        Returns:
+            ``(d_k, stop)`` where ``d_k[i, j]`` is the radius after
+            examining prefix ``j`` of row ``i`` (inf while the combined
+            density is undefined) and ``stop[i]`` is the first prefix
+            whose ``D_k`` circle fits inside the examined region.
+        """
+        # Sequential accumulation: cumsum adds in scan order, matching
+        # the reference loop's float64 accumulation exactly.
+        cum_counts = np.cumsum(counts, axis=1, dtype=float)
+        cum_areas = np.cumsum(areas, axis=1, dtype=float)
+        defined = (cum_areas > 0) & (cum_counts > 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = cum_counts / cum_areas
+            d_k = np.where(defined, np.sqrt(k / (np.pi * density)), np.inf)
+        # Termination after prefix j: the next unexamined block lies at
+        # MINDIST >= D_k (always true at j = n-1, where "next" is inf).
+        next_min = np.concatenate(
+            [sorted_min[:, 1:], np.full((sorted_min.shape[0], 1), np.inf)], axis=1
+        )
+        stop = np.argmax(next_min >= d_k, axis=1)
+        return d_k, stop
+
     def _expand_search(self, query: Point, k: int) -> tuple[float, np.ndarray]:
         """Run the expanding MINDIST scan; return ``(D_k, sorted MINDISTs)``."""
-        order, mindists = self._count_index.mindist_order_from_point(query)
-        counts = self._count_index.counts
-        areas = self._count_index.areas
-        n = order.shape[0]
-
-        combined_count = 0.0
-        combined_area = 0.0
-        d_k = math.inf
-        for i in range(n):
-            block = order[i]
-            combined_count += float(counts[block])
-            combined_area += float(areas[block])
-            if combined_area > 0 and combined_count > 0:
-                density = combined_count / combined_area
-                d_k = math.sqrt(k / (math.pi * density))
-            # Termination: the D_k circle fits inside the examined
-            # region once every unexamined block is farther than D_k.
-            if i + 1 >= n or mindists[i + 1] >= d_k:
-                break
-        if not math.isfinite(d_k):
+        snap = self._snapshot
+        order, mindists = snap.mindist_order(as_anchor(query)[:2])
+        sorted_min = mindists[None, :]
+        d_k, stop = self._dk_tableau(
+            sorted_min, snap.counts[order][None, :], snap.areas[order][None, :], k
+        )
+        i = int(stop[0])
+        final = float(d_k[0, i])
+        if not np.isfinite(final):
             # Degenerate geometry (all examined blocks have zero area):
             # fall back to the farthest examined MINDIST.
-            d_k = float(mindists[min(i + 1, n - 1)])
-        return d_k, mindists
+            final = float(mindists[min(i + 1, snap.n_blocks - 1)])
+        return final, mindists
 
     def storage_bytes(self) -> int:
         """Only the Count-Index statistics are kept (no catalogs)."""
-        return self._count_index.storage_bytes()
+        return self._snapshot.n_blocks * (4 * 8 + 8)

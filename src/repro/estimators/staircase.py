@@ -44,6 +44,7 @@ from repro.geometry import Point, Rect
 from repro.index.base import Block
 from repro.index.count_index import CountIndex
 from repro.index.quadtree import Quadtree
+from repro.index.snapshot import IndexSnapshot, leaf_id_for_point, partition_bounds
 from repro.knn.distance_browsing import select_cost_profile
 from repro.perf import (
     BlockPointsView,
@@ -164,10 +165,17 @@ class StaircaseEstimator(SelectCostEstimator):
             same catalogs as the reference per-leaf loop (asserted by
             the equivalence suite); disable only to exercise the
             reference path.
+        snapshot: Optional precomputed columnar summary of
+            ``data_index`` (e.g. the
+            :class:`~repro.engine.stats.StatisticsManager` cache entry).
+            When given, the Count-Index wraps it instead of re-walking
+            the index's blocks.
 
     Raises:
         ValueError: If no auxiliary index is available or parameters are
             invalid.
+        StaleCatalogError: If ``snapshot`` was gathered at an older data
+            generation than the index currently reports.
     """
 
     def __init__(
@@ -179,6 +187,7 @@ class StaircaseEstimator(SelectCostEstimator):
         *,
         workers: int | None = None,
         dedup: bool = True,
+        snapshot: IndexSnapshot | None = None,
     ) -> None:
         if variant not in ("center", "center+corners"):
             raise ValueError(f"unknown variant {variant!r}")
@@ -200,26 +209,37 @@ class StaircaseEstimator(SelectCostEstimator):
         #: Data generation the catalogs were built at (0 for immutable
         #: indexes, which never advance).
         self.built_at_generation = int(getattr(data_index, "data_generation", 0))
-        self._count_index = CountIndex.from_index(data_index)
+        if snapshot is not None:
+            if snapshot.data_generation != self.built_at_generation:
+                raise StaleCatalogError(
+                    f"snapshot was gathered at data generation "
+                    f"{snapshot.data_generation}, the index is now at "
+                    f"{self.built_at_generation}"
+                )
+            self._count_index = CountIndex.from_snapshot(snapshot)
+        else:
+            self._count_index = CountIndex.from_index(data_index)
         self._fallback = DensityBasedEstimator(self._count_index)
         blocks = data_index.blocks
-        leaves = list(aux_index.leaves)
+        # Catalogs key by leaf *bounds*, not node identity: one gathered
+        # (n_leaves, 4) array serves anchor collection and query-time
+        # leaf lookup alike.
+        self._leaf_rects = partition_bounds(aux_index)
 
         start = time.perf_counter()
         stats = PreprocessingStats(technique="staircase", workers=self._workers)
         self._center_catalogs: dict[int, IntervalCatalog] = {}
         self._corner_catalogs: dict[int, IntervalCatalog] = {}
         if self._dedup or self._workers > 1:
-            self._build_shared(leaves, blocks, stats)
+            self._build_shared(blocks, stats)
         else:
-            self._build_reference(leaves, blocks, stats)
-        self._leaf_ids = {id(leaf): leaf_id for leaf_id, leaf in enumerate(leaves)}
+            self._build_reference(blocks, stats)
         self.preprocessing_seconds = time.perf_counter() - start
         stats.wall_seconds = self.preprocessing_seconds
         self.preprocessing_stats = stats
 
     def _build_reference(
-        self, leaves: list, blocks: Sequence[Block], stats: PreprocessingStats
+        self, blocks: Sequence[Block], stats: PreprocessingStats
     ) -> None:
         """The per-leaf reference build: one Procedure 1 run per anchor.
 
@@ -227,13 +247,14 @@ class StaircaseEstimator(SelectCostEstimator):
         catalogs are merged with the paper's min-heap plane sweep.  The
         shared-anchor path is validated against this loop bit for bit.
         """
+        n_leaves = self._leaf_rects.shape[0]
         per_leaf = 5 if self._variant == "center+corners" else 1
-        stats.anchors_total = per_leaf * len(leaves)
+        stats.anchors_total = per_leaf * n_leaves
         stats.anchors_unique = stats.anchors_total
         stats.profiles_computed = stats.anchors_total
         with stats.phase("profiles"):
-            for leaf_id, leaf in enumerate(leaves):
-                rect: Rect = leaf.rect
+            for leaf_id in range(n_leaves):
+                rect = Rect(*self._leaf_rects[leaf_id])
                 self._center_catalogs[leaf_id] = build_select_catalog(
                     self._count_index, blocks, rect.center, self._max_k
                 )
@@ -247,44 +268,49 @@ class StaircaseEstimator(SelectCostEstimator):
                     self._corner_catalogs[leaf_id] = merge_max(corner_catalogs)
 
     def _build_shared(
-        self, leaves: list, blocks: Sequence[Block], stats: PreprocessingStats
+        self, blocks: Sequence[Block], stats: PreprocessingStats
     ) -> None:
         """Shared-anchor build: dedupe anchors, profile each one once.
 
         All catalog anchors (leaf centers plus, for the center+corners
-        variant, the four leaf corners) are collected up front; anchors
-        with bit-identical coordinates — interior corners shared by up
-        to four sibling leaves — are profiled once and their staircase
-        shared.  Profiles go through the same ``select_cost_profile``
-        code as the reference path (only the distance gather is batched
-        via :class:`~repro.perf.BlockPointsView`), and are optionally
+        variant, the four leaf corners) are collected up front as one
+        coordinate array; anchors with bit-identical coordinates —
+        interior corners shared by up to four sibling leaves — are
+        deduped with one ``np.unique`` pass, profiled once, and their
+        staircase shared.  (Catalog assembly is order-independent, so
+        the sorted unique order is as good as first-appearance order.)
+        Profiles go through the same ``select_cost_profile`` code as
+        the reference path (only the distance gather is batched via
+        :class:`~repro.perf.BlockPointsView`), and are optionally
         fanned out across worker processes.
         """
-        anchor_ids: dict[tuple[float, float], int] = {}
-        anchors: list[Point] = []
-
-        def intern(anchor: Point) -> int:
-            if not self._dedup:
-                anchors.append(anchor)
-                return len(anchors) - 1
-            key = (anchor.x, anchor.y)
-            anchor_id = anchor_ids.get(key)
-            if anchor_id is None:
-                anchor_id = anchor_ids[key] = len(anchors)
-                anchors.append(anchor)
-            return anchor_id
-
-        with stats.phase("collect"):
-            center_ids: list[int] = []
-            corner_ids: list[tuple[int, ...]] = []
-            for leaf in leaves:
-                rect: Rect = leaf.rect
-                center_ids.append(intern(rect.center))
-                if self._variant == "center+corners":
-                    corner_ids.append(tuple(intern(c) for c in rect.corners()))
-            view = BlockPointsView.from_blocks(blocks)
+        n_leaves = self._leaf_rects.shape[0]
         per_leaf = 5 if self._variant == "center+corners" else 1
-        stats.anchors_total = per_leaf * len(leaves)
+        with stats.phase("collect"):
+            rects = self._leaf_rects
+            centers = (rects[:, 0:2] + rects[:, 2:4]) / 2.0
+            if self._variant == "center+corners":
+                # Per leaf: [center, SW, SE, NW, NE] — Rect.corners() order.
+                stacked = np.stack(
+                    [
+                        centers,
+                        rects[:, (0, 1)],
+                        rects[:, (2, 1)],
+                        rects[:, (0, 3)],
+                        rects[:, (2, 3)],
+                    ],
+                    axis=1,
+                ).reshape(-1, 2)
+            else:
+                stacked = centers
+            if self._dedup:
+                unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            else:
+                unique, inverse = stacked, np.arange(stacked.shape[0])
+            ids = inverse.reshape(n_leaves, per_leaf)
+            anchors = [Point(float(x), float(y)) for x, y in unique]
+            view = BlockPointsView.from_blocks(blocks)
+        stats.anchors_total = per_leaf * n_leaves
         stats.anchors_unique = len(anchors)
         stats.profiles_computed = len(anchors)
 
@@ -294,11 +320,11 @@ class StaircaseEstimator(SelectCostEstimator):
             )
         with stats.phase("assemble"):
             catalogs = [_catalog_from_profile_fast(p, self._max_k) for p in profiles]
-            for leaf_id in range(len(leaves)):
-                self._center_catalogs[leaf_id] = catalogs[center_ids[leaf_id]]
+            for leaf_id in range(n_leaves):
+                self._center_catalogs[leaf_id] = catalogs[ids[leaf_id, 0]]
                 if self._variant == "center+corners":
                     self._corner_catalogs[leaf_id] = merge_max_fast(
-                        [catalogs[i] for i in corner_ids[leaf_id]]
+                        [catalogs[i] for i in ids[leaf_id, 1:]]
                     )
 
     # ------------------------------------------------------------------
@@ -345,13 +371,14 @@ class StaircaseEstimator(SelectCostEstimator):
             # auxiliary leaf; focal points outside the indexed space
             # (legal for k-NN) are served by the density-based fallback.
             return self._fallback.estimate(query, k)
-        leaf = self._aux.leaf_for(query)
-        leaf_id = self._leaf_ids[id(leaf)]
+        leaf_id = leaf_id_for_point(
+            self._leaf_rects, query.x, query.y, self._aux.bounds
+        )
         c_center = self._center_catalogs[leaf_id].lookup(k)
         if variant == "center":
             return c_center
         c_corner = self._corner_catalogs[leaf_id].lookup(k)
-        rect = leaf.rect
+        rect = Rect(*self._leaf_rects[leaf_id])
         diagonal = rect.diagonal
         if diagonal == 0.0:
             return c_center
@@ -370,7 +397,7 @@ class StaircaseEstimator(SelectCostEstimator):
                 "technique": "staircase",
                 "variant": self._variant,
                 "max_k": str(self._max_k),
-                "n_leaves": str(len(self._aux.leaves)),
+                "n_leaves": str(self._leaf_rects.shape[0]),
                 "data_generation": str(self.built_at_generation),
             }
         )
@@ -464,9 +491,10 @@ class StaircaseEstimator(SelectCostEstimator):
                     f"store is missing catalog entry {exc.args[0]!r} "
                     f"(leaf {leaf_id} of {n_leaves})"
                 ) from None
-        estimator._leaf_ids = {
-            id(leaf): leaf_id for leaf_id, leaf in enumerate(aux_index.leaves)
-        }
+        # Leaf lookup keys by bounds, not node identity: the restored
+        # estimator works even if the auxiliary index was itself rebuilt
+        # (equal geometry, different node objects).
+        estimator._leaf_rects = partition_bounds(aux_index)
         estimator._workers = 0
         estimator._dedup = False
         estimator.preprocessing_seconds = 0.0

@@ -29,27 +29,29 @@ import math
 
 from repro.estimators.base import SelectCostEstimator, validate_k
 from repro.geometry import Point
-from repro.index.count_index import CountIndex
+from repro.index.snapshot import as_snapshot
 
 
 class UniformModelEstimator(SelectCostEstimator):
     """Analytic uniform-data k-NN-Select cost model.
 
     Args:
-        count_index: Used only to extract the four summary scalars
-            (point count, total area, block count, mean block diagonal).
+        count_index: Block summary (index, Count-Index, or snapshot),
+            used only to extract the four summary scalars (point count,
+            total area, block count, mean block diagonal).
 
     Raises:
         ValueError: On an empty index.
     """
 
-    def __init__(self, count_index: CountIndex) -> None:
-        if count_index.n_blocks == 0:
+    def __init__(self, count_index) -> None:
+        snap = as_snapshot(count_index)
+        if snap.n_blocks == 0:
             raise ValueError("cannot model an empty index")
-        self._n_points = count_index.total_count
-        self._n_blocks = count_index.n_blocks
-        self._total_area = float(count_index.areas.sum())
-        self._mean_diagonal = float(count_index.diagonals.mean())
+        self._n_points = snap.total_count
+        self._n_blocks = snap.n_blocks
+        self._total_area = float(snap.areas.sum())
+        self._mean_diagonal = float(snap.diagonals.mean())
         if self._total_area <= 0:
             raise ValueError("the uniform model needs blocks with positive area")
 

@@ -37,9 +37,8 @@ from repro.catalog import CatalogLookupError, IntervalCatalog, catalog_storage_b
 from repro.catalog.store import CatalogStore
 from repro.estimators.base import JoinCostEstimator, validate_k
 from repro.geometry import Rect
-from repro.index.base import SpatialIndex
-from repro.index.count_index import CountIndex
 from repro.index.grid import GridIndex
+from repro.index.snapshot import IndexSnapshot, as_snapshot
 from repro.perf import PreprocessingStats, locality_size_profiles, resolve_workers
 
 DEFAULT_MAX_K = 2_048
@@ -56,7 +55,8 @@ class VirtualGridEstimator:
     or :meth:`for_outer`.
 
     Args:
-        inner: The inner relation's index or its Count-Index.
+        inner: Block summary of the inner relation (index, Count-Index,
+            or snapshot).
         bounds: The fixed universe over which the virtual grid is laid
             (shared across all relations so the grids align).
         grid_size: Number of cells per axis (``g`` in a ``g x g`` grid).
@@ -70,7 +70,7 @@ class VirtualGridEstimator:
 
     def __init__(
         self,
-        inner: SpatialIndex | CountIndex,
+        inner,
         bounds: Rect,
         grid_size: int = DEFAULT_GRID_SIZE,
         max_k: int = DEFAULT_MAX_K,
@@ -82,17 +82,17 @@ class VirtualGridEstimator:
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         self._workers = resolve_workers(workers)
-        inner_counts = inner if isinstance(inner, CountIndex) else CountIndex.from_index(inner)
-        if inner_counts.n_blocks == 0:
+        inner_snap = as_snapshot(inner)
+        if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
-        self._inner = inner_counts
+        self._inner = inner_snap
         self._grid = GridIndex.virtual(bounds, grid_size)
 
         start = time.perf_counter()
         stats = PreprocessingStats(technique="virtual-grid", workers=self._workers)
         with stats.phase("profiles"):
             profiles = locality_size_profiles(
-                inner_counts, self._grid.cells, max_k, workers=self._workers
+                inner_snap, self._grid.cells, max_k, workers=self._workers
             )
         with stats.phase("assemble"):
             self._cell_catalogs: list[IntervalCatalog] = [
@@ -122,14 +122,15 @@ class VirtualGridEstimator:
     # ------------------------------------------------------------------
     def estimate(
         self,
-        outer: SpatialIndex | CountIndex,
+        outer,
         k: int,
         assignment: Assignment = "overlap",
     ) -> float:
         """Estimate the cost of ``outer ⋉_kNN inner``.
 
         Args:
-            outer: The outer relation's index or Count-Index.
+            outer: Block summary of the outer relation (index,
+                Count-Index, or snapshot).
             k: Number of neighbors per outer point.
             assignment: ``"overlap"`` (the paper's rule: every block
                 contributes once per overlapping cell), ``"center"``
@@ -148,15 +149,14 @@ class VirtualGridEstimator:
             raise CatalogLookupError(
                 f"k={k} exceeds the grid catalogs' supported maximum"
             )
-        outer_counts = outer if isinstance(outer, CountIndex) else CountIndex.from_index(outer)
-        weights = self._cell_weights(outer_counts, assignment)
+        weights = self._cell_weights(as_snapshot(outer), assignment)
         # Vectorized per-cell catalog lookup: first entry with k_end >= k.
         entry = np.argmax(self._k_end_matrix >= k, axis=1)
         localities = self._cost_matrix[np.arange(entry.shape[0]), entry]
         cell_diagonal = self._grid.cells[0].diagonal  # uniform grid cells
         return float((localities * weights).sum() / cell_diagonal)
 
-    def _cell_weights(self, outer: CountIndex, assignment: Assignment) -> np.ndarray:
+    def _cell_weights(self, outer: IndexSnapshot, assignment: Assignment) -> np.ndarray:
         """Per-cell sums of (scaled) outer-block diagonals.
 
         The per-cell range queries of Section 4.3.2 are output-sensitive
@@ -166,7 +166,7 @@ class VirtualGridEstimator:
         by assigning each block directly to its overlapping cell range
         instead of scanning all blocks once per cell.
         """
-        bounds = outer.bounds_array
+        bounds = outer.rects
         diagonals = outer.diagonals
         nx, ny = self._grid.shape
         grid_bounds = self._grid.bounds
@@ -227,7 +227,7 @@ class VirtualGridEstimator:
         return weights
 
     def for_outer(
-        self, outer: SpatialIndex | CountIndex, assignment: Assignment = "overlap"
+        self, outer, assignment: Assignment = "overlap"
     ) -> "BoundVirtualGridEstimator":
         """Bind an outer relation, yielding a pair-level estimator."""
         return BoundVirtualGridEstimator(self, outer, assignment)
@@ -321,11 +321,11 @@ class BoundVirtualGridEstimator(JoinCostEstimator):
     def __init__(
         self,
         grid_estimator: VirtualGridEstimator,
-        outer: SpatialIndex | CountIndex,
+        outer,
         assignment: Assignment = "overlap",
     ) -> None:
         self._grid_estimator = grid_estimator
-        self._outer = outer if isinstance(outer, CountIndex) else CountIndex.from_index(outer)
+        self._outer = as_snapshot(outer)
         self._assignment: Assignment = assignment
         self.preprocessing_seconds = grid_estimator.preprocessing_seconds
         self.preprocessing_stats = grid_estimator.preprocessing_stats

@@ -5,6 +5,10 @@ and make extensive use of the MINDIST and MAXDIST metrics between points
 and blocks (rectangles) and between pairs of blocks.  This subpackage
 provides those primitives, both as scalar functions and as vectorized
 batch variants backed by numpy.
+
+:mod:`~repro.geometry.kernels` holds the columnar kernels that operate
+on ``(n, 4)`` bounds matrices (the :class:`~repro.index.snapshot.IndexSnapshot`
+layout); they are re-exported here alongside the scalar metrics.
 """
 
 from repro.geometry.point import Point
@@ -23,6 +27,16 @@ from repro.geometry.metrics import (
     circle_inside_rect,
     circle_inside_union,
 )
+from repro.geometry.kernels import (
+    as_anchor,
+    circle_overlap_mask,
+    maxdist_rects,
+    maxdist_rects_batch,
+    mindist_argsort,
+    mindist_rects,
+    mindist_rects_batch,
+    rect_overlap_mask,
+)
 
 __all__ = [
     "Point",
@@ -39,4 +53,12 @@ __all__ = [
     "maxdist_rect_rects",
     "circle_inside_rect",
     "circle_inside_union",
+    "as_anchor",
+    "circle_overlap_mask",
+    "maxdist_rects",
+    "maxdist_rects_batch",
+    "mindist_argsort",
+    "mindist_rects",
+    "mindist_rects_batch",
+    "rect_overlap_mask",
 ]

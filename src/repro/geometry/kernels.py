@@ -1,0 +1,206 @@
+"""Vectorized block-summary kernels: anchors against whole rect arrays.
+
+Every cost model in the paper reduces to the same primitive — rank
+blocks by MINDIST/MAXDIST from an anchor and accumulate counts.  These
+kernels are that primitive in structure-of-arrays form: each takes an
+*anchor* (a point or a rectangle) and an ``(n, 4)`` bounds array (the
+``rects`` column of an :class:`~repro.index.snapshot.IndexSnapshot`)
+and answers for every block at once.
+
+The kernels are the array-native siblings of the scalar/object
+functions in :mod:`repro.geometry.metrics`: they apply the exact same
+ufunc chains, so their outputs are **bitwise identical** to looping the
+scalar forms over materialized :class:`~repro.geometry.rect.Rect`
+objects — the equivalence suite (``tests/test_snapshot_equivalence.py``)
+asserts this for every consumer.  New estimation code should call these
+directly on snapshot arrays instead of materializing per-leaf objects.
+
+Anchor convention
+-----------------
+An anchor is a 1-D float array (or tuple): length 2 is a point
+``(x, y)``; length 4 is a rectangle ``(x_min, y_min, x_max, y_max)``.
+The batch variants take ``(m, 2)`` or ``(m, 4)`` anchor stacks and
+return ``(m, n)`` matrices whose rows are elementwise identical to the
+corresponding single-anchor calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_anchor",
+    "mindist_rects",
+    "maxdist_rects",
+    "mindist_rects_batch",
+    "maxdist_rects_batch",
+    "mindist_argsort",
+    "circle_overlap_mask",
+    "rect_overlap_mask",
+]
+
+
+def as_anchor(anchor) -> np.ndarray:
+    """Normalize an anchor to a 1-D float array of length 2 or 4.
+
+    Accepts a ``(x, y)`` point, a ``(x_min, y_min, x_max, y_max)``
+    bounds tuple/array, or objects exposing the matching attributes
+    (:class:`~repro.geometry.point.Point` via ``.x``/``.y``,
+    :class:`~repro.geometry.rect.Rect` via ``.as_tuple()``).
+
+    Raises:
+        ValueError: For any other shape.
+    """
+    if hasattr(anchor, "as_tuple"):
+        anchor = anchor.as_tuple()
+    elif hasattr(anchor, "x") and hasattr(anchor, "y"):
+        anchor = (anchor.x, anchor.y)
+    arr = np.asarray(anchor, dtype=float).reshape(-1)
+    if arr.shape[0] not in (2, 4):
+        raise ValueError(
+            f"anchor must be a point (2,) or rect bounds (4,), got shape {arr.shape}"
+        )
+    return arr
+
+
+def _as_rects(rects: np.ndarray) -> np.ndarray:
+    rects = np.asarray(rects, dtype=float)
+    if rects.ndim != 2 or rects.shape[1] != 4:
+        raise ValueError(f"expected an (n, 4) bounds array, got shape {rects.shape}")
+    return rects
+
+
+def mindist_rects(anchor, rects: np.ndarray) -> np.ndarray:
+    """``(n,)`` MINDIST from one anchor (point or rect) to every rect.
+
+    Zero where the anchor touches/overlaps the rectangle.  Matches
+    :func:`repro.geometry.metrics.mindist_point_rect` /
+    :func:`~repro.geometry.metrics.mindist_rect_rect` bit for bit.
+    """
+    a = as_anchor(anchor)
+    rects = _as_rects(rects)
+    if a.shape[0] == 2:
+        dx = np.maximum(np.maximum(rects[:, 0] - a[0], 0.0), a[0] - rects[:, 2])
+        dy = np.maximum(np.maximum(rects[:, 1] - a[1], 0.0), a[1] - rects[:, 3])
+    else:
+        dx = np.maximum(np.maximum(rects[:, 0] - a[2], 0.0), a[0] - rects[:, 2])
+        dy = np.maximum(np.maximum(rects[:, 1] - a[3], 0.0), a[1] - rects[:, 3])
+    return np.hypot(dx, dy)
+
+
+def maxdist_rects(anchor, rects: np.ndarray) -> np.ndarray:
+    """``(n,)`` MAXDIST from one anchor (point or rect) to every rect.
+
+    Matches :func:`repro.geometry.metrics.maxdist_point_rect` /
+    :func:`~repro.geometry.metrics.maxdist_rect_rect` bit for bit.
+    """
+    a = as_anchor(anchor)
+    rects = _as_rects(rects)
+    if a.shape[0] == 2:
+        dx = np.maximum(np.abs(a[0] - rects[:, 0]), np.abs(a[0] - rects[:, 2]))
+        dy = np.maximum(np.abs(a[1] - rects[:, 1]), np.abs(a[1] - rects[:, 3]))
+        return np.hypot(dx, dy)
+    dx = np.maximum(rects[:, 2] - a[0], a[2] - rects[:, 0])
+    dy = np.maximum(rects[:, 3] - a[1], a[3] - rects[:, 1])
+    return np.hypot(np.maximum(dx, 0.0), np.maximum(dy, 0.0))
+
+
+def _as_anchor_batch(anchors) -> np.ndarray:
+    arr = np.asarray(anchors, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] not in (2, 4):
+        raise ValueError(
+            f"anchor batch must be (m, 2) or (m, 4), got shape {arr.shape}"
+        )
+    return arr
+
+
+def mindist_rects_batch(anchors, rects: np.ndarray) -> np.ndarray:
+    """``(m, n)`` MINDIST matrix of many anchors against many rects.
+
+    Row ``i`` is elementwise identical to
+    ``mindist_rects(anchors[i], rects)`` — the broadcast applies the
+    same ufunc operations — so batching callers stay bit-for-bit
+    compatible with the per-anchor path.
+    """
+    a = _as_anchor_batch(anchors)
+    rects = _as_rects(rects)
+    if a.shape[1] == 2:
+        x = a[:, 0][:, None]
+        y = a[:, 1][:, None]
+        dx = np.maximum(np.maximum(rects[None, :, 0] - x, 0.0), x - rects[None, :, 2])
+        dy = np.maximum(np.maximum(rects[None, :, 1] - y, 0.0), y - rects[None, :, 3])
+    else:
+        dx = np.maximum(
+            np.maximum(rects[None, :, 0] - a[:, 2][:, None], 0.0),
+            a[:, 0][:, None] - rects[None, :, 2],
+        )
+        dy = np.maximum(
+            np.maximum(rects[None, :, 1] - a[:, 3][:, None], 0.0),
+            a[:, 1][:, None] - rects[None, :, 3],
+        )
+    return np.hypot(dx, dy)
+
+
+def maxdist_rects_batch(anchors, rects: np.ndarray) -> np.ndarray:
+    """``(m, n)`` MAXDIST matrix of many anchors against many rects."""
+    a = _as_anchor_batch(anchors)
+    rects = _as_rects(rects)
+    if a.shape[1] == 2:
+        x = a[:, 0][:, None]
+        y = a[:, 1][:, None]
+        dx = np.maximum(np.abs(x - rects[None, :, 0]), np.abs(x - rects[None, :, 2]))
+        dy = np.maximum(np.abs(y - rects[None, :, 1]), np.abs(y - rects[None, :, 3]))
+        return np.hypot(dx, dy)
+    dx = np.maximum(
+        rects[None, :, 2] - a[:, 0][:, None], a[:, 2][:, None] - rects[None, :, 0]
+    )
+    dy = np.maximum(
+        rects[None, :, 3] - a[:, 1][:, None], a[:, 3][:, None] - rects[None, :, 1]
+    )
+    return np.hypot(np.maximum(dx, 0.0), np.maximum(dy, 0.0))
+
+
+def mindist_argsort(anchor, rects: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """MINDIST ordering of all rects with respect to one anchor.
+
+    The inner loop of every estimator: returns ``(order, mindists)``
+    where ``order`` is the block permutation sorted by ascending
+    MINDIST (stable, so ties resolve in block-id order) and
+    ``mindists`` holds the values in that order.
+    """
+    mindists = mindist_rects(anchor, rects)
+    order = np.argsort(mindists, kind="stable")
+    return order, mindists[order]
+
+
+def circle_overlap_mask(center, radius: float, rects: np.ndarray) -> np.ndarray:
+    """Boolean mask of rects overlapping the open disk ``(center, radius)``.
+
+    A block overlaps the ``D_k`` circle iff its MINDIST from the center
+    is strictly below the radius — the Step-5 block count of the
+    density-based estimator and the frontier filter of snapshot-seeded
+    distance browsing.
+
+    Raises:
+        ValueError: If ``radius`` is negative.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return mindist_rects(as_anchor(center)[:2], rects) < radius
+
+
+def rect_overlap_mask(region, rects: np.ndarray) -> np.ndarray:
+    """Boolean mask of rects intersecting the closed ``region``.
+
+    Matches :meth:`repro.geometry.rect.Rect.intersects` per block.
+    """
+    r = as_anchor(region)
+    if r.shape[0] != 4:
+        raise ValueError("region must be rect bounds (4,)")
+    rects = _as_rects(rects)
+    return (
+        (rects[:, 0] <= r[2])
+        & (r[0] <= rects[:, 2])
+        & (rects[:, 1] <= r[3])
+        & (r[1] <= rects[:, 3])
+    )

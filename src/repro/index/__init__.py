@@ -15,6 +15,9 @@ subpackage implements:
 * :class:`~repro.index.count_index.CountIndex` — the auxiliary index
   that stores only per-block counts (no data points) and powers every
   cost estimator.
+* :class:`~repro.index.snapshot.IndexSnapshot` — the frozen columnar
+  block summary gathered once from any of the above; the contract the
+  estimators and k-NN algorithms actually consume.
 """
 
 from repro.index.base import Block, IndexNode, SpatialIndex
@@ -24,6 +27,12 @@ from repro.index.grid import GridIndex
 from repro.index.count_index import CountIndex
 from repro.index.hierarchical_count import HierarchicalCountIndex
 from repro.index.mutable_quadtree import MutableQuadtree
+from repro.index.snapshot import (
+    IndexSnapshot,
+    as_snapshot,
+    leaf_id_for_point,
+    partition_bounds,
+)
 
 __all__ = [
     "Block",
@@ -37,4 +46,8 @@ __all__ = [
     "CountIndex",
     "HierarchicalCountIndex",
     "MutableQuadtree",
+    "IndexSnapshot",
+    "as_snapshot",
+    "leaf_id_for_point",
+    "partition_bounds",
 ]

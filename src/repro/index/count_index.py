@@ -9,9 +9,12 @@ select estimator scans it in MINDIST order; Procedure 1 and Procedure 2
 build their catalogs against it (plus, for Procedure 1, the data points
 themselves); the join estimators compute localities over it.
 
-The implementation is columnar: an ``(n, 4)`` bounds array, an ``(n,)``
-count array, and precomputed block areas/diagonals, so that MINDIST
-scans are single vectorized ``argsort`` calls.
+Since the snapshot refactor the Count-Index is a thin *validating
+wrapper* over an :class:`~repro.index.snapshot.IndexSnapshot` — the
+columnar block-summary contract shared by every layer — that adds the
+Count-Index-specific invariant (only non-empty blocks are tracked, per
+DESIGN.md §5) and the range-selectivity helpers.  All scans delegate to
+the vectorized :mod:`repro.geometry.kernels`.
 """
 
 from __future__ import annotations
@@ -20,15 +23,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.geometry import (
-    Point,
-    Rect,
-    mindist_point_rects,
-    maxdist_point_rects,
-    mindist_rect_rects,
-    maxdist_rect_rects,
+from repro.geometry import Point, Rect
+from repro.geometry.kernels import (
+    maxdist_rects,
+    mindist_argsort,
+    mindist_rects,
+    rect_overlap_mask,
 )
 from repro.index.base import Block, SpatialIndex
+from repro.index.snapshot import IndexSnapshot
 
 
 class CountIndex:
@@ -41,6 +44,8 @@ class CountIndex:
             empty blocks are never materialized).
     """
 
+    __slots__ = ("_snapshot",)
+
     def __init__(self, bounds_array: np.ndarray, counts: np.ndarray) -> None:
         bounds_array = np.asarray(bounds_array, dtype=float).reshape(-1, 4)
         counts = np.asarray(counts, dtype=np.int64).reshape(-1)
@@ -48,23 +53,31 @@ class CountIndex:
             raise ValueError(
                 f"bounds/counts length mismatch: {bounds_array.shape[0]} vs {counts.shape[0]}"
             )
-        if np.any(counts <= 0):
+        self._snapshot = self._validated(
+            IndexSnapshot.from_arrays(bounds_array, counts)
+        )
+
+    @staticmethod
+    def _validated(snapshot: IndexSnapshot) -> IndexSnapshot:
+        if np.any(snapshot.counts <= 0):
             raise ValueError("the Count-Index only tracks non-empty blocks")
-        if np.any(bounds_array[:, 0] > bounds_array[:, 2]) or np.any(
-            bounds_array[:, 1] > bounds_array[:, 3]
-        ):
-            raise ValueError("inverted block bounds in Count-Index")
-        self._bounds = bounds_array
-        self._counts = counts
-        widths = bounds_array[:, 2] - bounds_array[:, 0]
-        heights = bounds_array[:, 3] - bounds_array[:, 1]
-        self._areas = widths * heights
-        self._diagonals = np.hypot(widths, heights)
+        return snapshot
 
     @classmethod
     def from_index(cls, index: SpatialIndex) -> "CountIndex":
         """Build the Count-Index of a spatial index's non-empty blocks."""
-        return cls(index.block_bounds_array(), index.block_counts_array())
+        return cls.from_snapshot(IndexSnapshot.from_index(index))
+
+    @classmethod
+    def from_snapshot(cls, snapshot: IndexSnapshot) -> "CountIndex":
+        """Wrap an existing snapshot (no re-gather, arrays shared).
+
+        Raises:
+            ValueError: If the snapshot contains zero-count blocks.
+        """
+        instance = cls.__new__(cls)
+        instance._snapshot = cls._validated(snapshot)
+        return instance
 
     @classmethod
     def from_blocks(cls, blocks: Sequence[Block]) -> "CountIndex":
@@ -77,38 +90,43 @@ class CountIndex:
     # Basic accessors
     # ------------------------------------------------------------------
     @property
+    def snapshot(self) -> IndexSnapshot:
+        """The underlying columnar block summary."""
+        return self._snapshot
+
+    @property
     def n_blocks(self) -> int:
         """Number of tracked blocks."""
-        return int(self._counts.shape[0])
+        return self._snapshot.n_blocks
 
     @property
     def total_count(self) -> int:
         """Total number of points across all blocks."""
-        return int(self._counts.sum())
+        return self._snapshot.total_count
 
     @property
     def bounds_array(self) -> np.ndarray:
         """``(n, 4)`` block bounds (read-only view)."""
-        return self._bounds
+        return self._snapshot.rects
 
     @property
     def counts(self) -> np.ndarray:
         """``(n,)`` per-block counts (read-only view)."""
-        return self._counts
+        return self._snapshot.counts
 
     @property
     def areas(self) -> np.ndarray:
         """``(n,)`` block areas."""
-        return self._areas
+        return self._snapshot.areas
 
     @property
     def diagonals(self) -> np.ndarray:
         """``(n,)`` block diagonal lengths."""
-        return self._diagonals
+        return self._snapshot.diagonals
 
     def rect_of(self, block_idx: int) -> Rect:
         """Materialize the :class:`Rect` of block ``block_idx``."""
-        x_min, y_min, x_max, y_max = self._bounds[block_idx]
+        x_min, y_min, x_max, y_max = self._snapshot.rects[block_idx]
         return Rect(float(x_min), float(y_min), float(x_max), float(y_max))
 
     def densities(self) -> np.ndarray:
@@ -119,27 +137,29 @@ class CountIndex:
         estimator treats them via the combined-density path where areas
         are summed first.
         """
+        areas = self._snapshot.areas
+        counts = self._snapshot.counts
         with np.errstate(divide="ignore"):
-            return np.where(self._areas > 0, self._counts / self._areas, np.inf)
+            return np.where(areas > 0, counts / areas, np.inf)
 
     # ------------------------------------------------------------------
-    # MINDIST / MAXDIST scans
+    # MINDIST / MAXDIST scans (kernel delegations)
     # ------------------------------------------------------------------
     def mindist_from_point(self, p: Point) -> np.ndarray:
         """``(n,)`` MINDIST values from ``p`` to every block."""
-        return mindist_point_rects(p, self._bounds)
+        return mindist_rects((p.x, p.y), self._snapshot.rects)
 
     def maxdist_from_point(self, p: Point) -> np.ndarray:
         """``(n,)`` MAXDIST values from ``p`` to every block."""
-        return maxdist_point_rects(p, self._bounds)
+        return maxdist_rects((p.x, p.y), self._snapshot.rects)
 
     def mindist_from_rect(self, r: Rect) -> np.ndarray:
         """``(n,)`` MINDIST values from rectangle ``r`` to every block."""
-        return mindist_rect_rects(r, self._bounds)
+        return mindist_rects(r.as_tuple(), self._snapshot.rects)
 
     def maxdist_from_rect(self, r: Rect) -> np.ndarray:
         """``(n,)`` MAXDIST values from rectangle ``r`` to every block."""
-        return maxdist_rect_rects(r, self._bounds)
+        return maxdist_rects(r.as_tuple(), self._snapshot.rects)
 
     def mindist_order_from_point(self, p: Point) -> tuple[np.ndarray, np.ndarray]:
         """MINDIST ordering of all blocks with respect to point ``p``.
@@ -149,25 +169,17 @@ class CountIndex:
             permutation sorted by ascending MINDIST and ``mindists`` are
             the values in that order.
         """
-        mindists = self.mindist_from_point(p)
-        order = np.argsort(mindists, kind="stable")
-        return order, mindists[order]
+        return mindist_argsort((p.x, p.y), self._snapshot.rects)
 
     def mindist_order_from_rect(self, r: Rect) -> tuple[np.ndarray, np.ndarray]:
         """MINDIST ordering of all blocks with respect to rectangle ``r``."""
-        mindists = self.mindist_from_rect(r)
-        order = np.argsort(mindists, kind="stable")
-        return order, mindists[order]
+        return mindist_argsort(r.as_tuple(), self._snapshot.rects)
 
     def overlapping(self, region: Rect) -> np.ndarray:
         """Indices of blocks whose extent intersects ``region``."""
-        mask = (
-            (self._bounds[:, 0] <= region.x_max)
-            & (region.x_min <= self._bounds[:, 2])
-            & (self._bounds[:, 1] <= region.y_max)
-            & (region.y_min <= self._bounds[:, 3])
+        return np.flatnonzero(
+            rect_overlap_mask(region.as_tuple(), self._snapshot.rects)
         )
-        return np.flatnonzero(mask)
 
     # ------------------------------------------------------------------
     # Range selectivity (the classic estimator of the paper's related
@@ -183,20 +195,23 @@ class CountIndex:
         under the uniformity assumption; degenerate (zero-area) blocks
         contribute their full count when they intersect the region.
         """
-        overlap_w = np.minimum(self._bounds[:, 2], region.x_max) - np.maximum(
-            self._bounds[:, 0], region.x_min
+        bounds = self._snapshot.rects
+        areas = self._snapshot.areas
+        counts = self._snapshot.counts
+        overlap_w = np.minimum(bounds[:, 2], region.x_max) - np.maximum(
+            bounds[:, 0], region.x_min
         )
-        overlap_h = np.minimum(self._bounds[:, 3], region.y_max) - np.maximum(
-            self._bounds[:, 1], region.y_min
+        overlap_h = np.minimum(bounds[:, 3], region.y_max) - np.maximum(
+            bounds[:, 1], region.y_min
         )
         intersects = (overlap_w >= 0) & (overlap_h >= 0)
         overlap_area = np.clip(overlap_w, 0.0, None) * np.clip(overlap_h, 0.0, None)
         fractions = np.where(
-            self._areas > 0,
-            overlap_area / np.where(self._areas > 0, self._areas, 1.0),
+            areas > 0,
+            overlap_area / np.where(areas > 0, areas, 1.0),
             intersects.astype(float),
         )
-        return float((self._counts * fractions).sum())
+        return float((counts * fractions).sum())
 
     def estimate_range_selectivity(self, region: Rect) -> float:
         """Estimated fraction of all points that fall inside ``region``."""

@@ -1,0 +1,304 @@
+"""The columnar IndexSnapshot: one block-summary contract for all layers.
+
+Every estimator in the paper works off per-block summaries — bounds,
+counts, centers — never the index structure itself.  ``IndexSnapshot``
+is that summary as a frozen structure of dense arrays, built **once**
+from any :class:`~repro.index.base.SpatialIndex` (quadtree, mutable
+quadtree, grid, R-tree) and consumed by every layer above:
+
+* the estimators (:mod:`repro.estimators`) rank and accumulate over
+  ``rects``/``counts`` via the :mod:`repro.geometry.kernels`;
+* the k-NN locality machinery (:mod:`repro.knn.locality`) computes
+  MINDIST/MAXDIST prefixes over the same arrays;
+* the preprocessing fan-out (:mod:`repro.perf.parallel`) ships one
+  snapshot to every worker process instead of re-gathering per worker;
+* the engine's :class:`~repro.engine.stats.StatisticsManager` caches
+  one snapshot per table, invalidated by ``data_generation``.
+
+The snapshot is deliberately *summary-only*: it never holds the data
+points (catalog construction, the one offline step that reads points,
+pairs a snapshot with a :class:`~repro.perf.BlockPointsView`).  It is
+therefore pickle-cheap — a handful of ndarrays plus scalars — and
+immutable: all arrays are marked read-only so no consumer can corrupt
+the shared copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geometry.kernels import (
+    as_anchor,
+    maxdist_rects,
+    mindist_argsort,
+    mindist_rects,
+    rect_overlap_mask,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.index.base import SpatialIndex
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Return a C-contiguous, write-protected copy-if-needed of ``arr``."""
+    out = np.ascontiguousarray(arr)
+    if out is arr and arr.flags.writeable:
+        out = arr.copy()
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """Frozen columnar summary of an index's non-empty leaf blocks.
+
+    Attributes:
+        rects: ``(n, 4)`` block bounds ``(x_min, y_min, x_max, y_max)``,
+            ordered by ``block_ids``.
+        counts: ``(n,)`` per-block point counts (non-negative int64).
+        centers: ``(n, 2)`` block center coordinates.
+        block_ids: ``(n,)`` dense block identifiers (the source index's
+            ``Block.block_id`` values; ``arange(n)`` for array-built
+            snapshots).
+        data_generation: The source index's mutation counter at gather
+            time (0 for immutable indexes) — the cache-invalidation key.
+        source: Class name of the source index (``"arrays"`` when built
+            directly from arrays).
+        bounds: The source index's universe as a 4-tuple, or ``None``.
+        capacity: The source index's leaf capacity, or ``None``.
+
+    All arrays are read-only; derived per-block ``areas`` and
+    ``diagonals`` are computed once at construction.
+    """
+
+    rects: np.ndarray
+    counts: np.ndarray
+    centers: np.ndarray
+    block_ids: np.ndarray
+    data_generation: int = 0
+    source: str = "arrays"
+    bounds: tuple[float, float, float, float] | None = None
+    capacity: int | None = None
+    areas: np.ndarray = field(init=False, repr=False)
+    diagonals: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rects = np.asarray(self.rects, dtype=float).reshape(-1, 4)
+        counts = np.asarray(self.counts, dtype=np.int64).reshape(-1)
+        centers = np.asarray(self.centers, dtype=float).reshape(-1, 2)
+        block_ids = np.asarray(self.block_ids, dtype=np.int64).reshape(-1)
+        n = rects.shape[0]
+        if counts.shape[0] != n or centers.shape[0] != n or block_ids.shape[0] != n:
+            raise ValueError(
+                "snapshot column length mismatch: "
+                f"rects={n}, counts={counts.shape[0]}, "
+                f"centers={centers.shape[0]}, block_ids={block_ids.shape[0]}"
+            )
+        if not np.all(np.isfinite(rects)):
+            raise ValueError("snapshot rects must be finite")
+        if np.any(rects[:, 0] > rects[:, 2]) or np.any(rects[:, 1] > rects[:, 3]):
+            raise ValueError("inverted block bounds in snapshot")
+        if np.any(counts < 0):
+            raise ValueError("snapshot counts must be non-negative")
+        widths = rects[:, 2] - rects[:, 0]
+        heights = rects[:, 3] - rects[:, 1]
+        # Bypass the frozen-dataclass guard for canonicalized columns.
+        object.__setattr__(self, "rects", _readonly(rects))
+        object.__setattr__(self, "counts", _readonly(counts))
+        object.__setattr__(self, "centers", _readonly(centers))
+        object.__setattr__(self, "block_ids", _readonly(block_ids))
+        object.__setattr__(self, "areas", _readonly(widths * heights))
+        object.__setattr__(self, "diagonals", _readonly(np.hypot(widths, heights)))
+
+    def __setstate__(self, state: dict) -> None:
+        # ndarray pickling drops the writeable=False flag; restore the
+        # immutability contract on the unpickled copy (worker processes
+        # share snapshots by value, never by reference).
+        self.__dict__.update(state)
+        for value in self.__dict__.values():
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index: "SpatialIndex") -> "IndexSnapshot":
+        """Gather the snapshot of a spatial index's non-empty blocks.
+
+        This is the *one* per-leaf walk in the system; everything
+        downstream computes against the arrays it produces.
+        """
+        blocks = index.blocks
+        rects = index.block_bounds_array()
+        counts = index.block_counts_array()
+        centers = (rects[:, 0:2] + rects[:, 2:4]) / 2.0
+        block_ids = np.array([b.block_id for b in blocks], dtype=np.int64)
+        bounds = index.bounds
+        return cls(
+            rects=rects,
+            counts=counts,
+            centers=centers,
+            block_ids=block_ids,
+            data_generation=int(getattr(index, "data_generation", 0)),
+            source=type(index).__name__,
+            bounds=(bounds.x_min, bounds.y_min, bounds.x_max, bounds.y_max),
+            capacity=int(index.capacity),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, rects: np.ndarray, counts: np.ndarray, **metadata
+    ) -> "IndexSnapshot":
+        """Build a snapshot from bare bounds/counts arrays.
+
+        Centers and block ids are derived; metadata kwargs
+        (``data_generation``, ``source``, ``bounds``, ``capacity``)
+        pass through.
+        """
+        rects = np.asarray(rects, dtype=float).reshape(-1, 4)
+        counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+        centers = (rects[:, 0:2] + rects[:, 2:4]) / 2.0
+        block_ids = np.arange(rects.shape[0], dtype=np.int64)
+        return cls(rects=rects, counts=counts, centers=centers, block_ids=block_ids, **metadata)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Number of summarized blocks."""
+        return int(self.counts.shape[0])
+
+    @property
+    def total_count(self) -> int:
+        """Total number of points across all blocks."""
+        return int(self.counts.sum())
+
+    def __len__(self) -> int:
+        return self.n_blocks
+
+    # ------------------------------------------------------------------
+    # Kernel-backed scans (thin delegations so consumers holding only a
+    # snapshot never need to import the kernels module themselves)
+    # ------------------------------------------------------------------
+    def mindist_from(self, anchor) -> np.ndarray:
+        """``(n,)`` MINDIST from a point or rect anchor to every block."""
+        return mindist_rects(anchor, self.rects)
+
+    def maxdist_from(self, anchor) -> np.ndarray:
+        """``(n,)`` MAXDIST from a point or rect anchor to every block."""
+        return maxdist_rects(anchor, self.rects)
+
+    def mindist_order(self, anchor) -> tuple[np.ndarray, np.ndarray]:
+        """Stable MINDIST ordering ``(order, sorted mindists)``."""
+        return mindist_argsort(anchor, self.rects)
+
+    def overlapping(self, region) -> np.ndarray:
+        """Indices of blocks whose extent intersects ``region``."""
+        return np.flatnonzero(rect_overlap_mask(region, self.rects))
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bytes needed to persist the summary columns."""
+        return (
+            self.rects.nbytes
+            + self.counts.nbytes
+            + self.centers.nbytes
+            + self.block_ids.nbytes
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (
+            f"{self.n_blocks} blocks / {self.total_count} points "
+            f"from {self.source} (generation {self.data_generation})"
+        )
+
+
+def as_snapshot(obj) -> IndexSnapshot:
+    """Normalize an index-like argument to an :class:`IndexSnapshot`.
+
+    Accepts an :class:`IndexSnapshot` (returned as-is), anything with a
+    ``snapshot`` attribute holding one (e.g.
+    :class:`~repro.index.count_index.CountIndex`), or a
+    :class:`~repro.index.base.SpatialIndex` (gathered on the spot).
+    Estimators use this at their boundaries so callers can hand over
+    whichever representation they already have — and so a
+    :class:`~repro.engine.stats.StatisticsManager`-cached snapshot is
+    reused instead of re-gathered.
+
+    Raises:
+        TypeError: For objects carrying no block summaries.
+    """
+    if isinstance(obj, IndexSnapshot):
+        return obj
+    snapshot = getattr(obj, "snapshot", None)
+    if isinstance(snapshot, IndexSnapshot):
+        return snapshot
+    if hasattr(obj, "block_bounds_array") and hasattr(obj, "blocks"):
+        return IndexSnapshot.from_index(obj)
+    raise TypeError(
+        f"cannot derive an IndexSnapshot from {type(obj).__name__!r}"
+    )
+
+
+def partition_bounds(aux_index) -> np.ndarray:
+    """``(n_leaves, 4)`` bounds of *all* leaves of a space partition.
+
+    Unlike :meth:`IndexSnapshot.from_index` this includes structurally
+    empty leaves: Staircase catalogs are anchored at every leaf region
+    of the auxiliary index whether or not it holds points.  Row order
+    matches ``aux_index.leaves`` (the catalog ``leaf_id`` order).
+    """
+    leaves = aux_index.leaves
+    if not leaves:
+        return np.empty((0, 4), dtype=float)
+    return np.array([leaf.rect.as_tuple() for leaf in leaves], dtype=float)
+
+
+def leaf_id_for_point(
+    leaf_rects: np.ndarray, x: float, y: float, bounds
+) -> int:
+    """Locate the partition leaf containing ``(x, y)`` by its bounds.
+
+    Space partitions resolve shared edges to the east/north side (the
+    strict ``<`` descent of :meth:`repro.index.quadtree.Quadtree.leaf_for`),
+    which over leaf bounds is exactly half-open containment
+    ``[min, max)`` — closed at the universe's east/north edges so
+    boundary queries stay inside the outermost leaves.  Keying lookups
+    by leaf *bounds* instead of node object identity is what lets
+    catalogs survive persistence round-trips (`from_store`) without
+    assuming the auxiliary index yields the very same node objects.
+
+    Args:
+        leaf_rects: ``(n_leaves, 4)`` array from :func:`partition_bounds`.
+        x: Query x (must lie inside ``bounds``).
+        y: Query y.
+        bounds: The partition universe (anything
+            :func:`~repro.geometry.kernels.as_anchor` accepts as a rect).
+
+    Returns:
+        The row index of the containing leaf.
+
+    Raises:
+        ValueError: If no leaf contains the point (outside the
+            universe, or ``leaf_rects`` does not partition it).
+    """
+    b = as_anchor(bounds)
+    if not (b[0] <= x <= b[2] and b[1] <= y <= b[3]):
+        # Mirror SpatialIndex.leaf_for: outside the universe there is no
+        # containing leaf, even though the east/north edge closure below
+        # would otherwise capture points beyond the outer boundary.
+        raise ValueError(f"no partition leaf contains ({x}, {y})")
+    in_x = (x >= leaf_rects[:, 0]) & ((x < leaf_rects[:, 2]) | (leaf_rects[:, 2] >= b[2]))
+    in_y = (y >= leaf_rects[:, 1]) & ((y < leaf_rects[:, 3]) | (leaf_rects[:, 3] >= b[3]))
+    hits = np.flatnonzero(in_x & in_y)
+    if hits.shape[0] == 0:
+        raise ValueError(f"no partition leaf contains ({x}, {y})")
+    return int(hits[0])

@@ -29,6 +29,7 @@ from repro.knn.locality import (
     locality_block_indices,
     locality_size,
     locality_size_profile,
+    locality_sizes,
 )
 from repro.knn.knn_join import (
     knn_join,
@@ -47,6 +48,7 @@ __all__ = [
     "locality_block_indices",
     "locality_size",
     "locality_size_profile",
+    "locality_sizes",
     "knn_join",
     "knn_join_cost",
     "naive_knn_join",

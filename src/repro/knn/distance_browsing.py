@@ -13,7 +13,13 @@ leaf) blocks scanned.  Two cost paths are provided:
 
 * :class:`DistanceBrowser` / :func:`knn_select` — the faithful heap-
   based incremental algorithm with a scan counter; this is what a query
-  processor would run.
+  processor would run.  With a precomputed
+  :class:`~repro.index.snapshot.IndexSnapshot` the browser seeds its
+  frontier *flat* — one vectorized MINDIST kernel over all leaf blocks
+  replaces the hierarchical descent.  The scan cost is identical either
+  way: internal nodes cost nothing to pop, and the strict ``<`` return
+  test means every block at MINDIST below the next returned distance
+  must be scanned regardless of tie order.
 * :func:`select_cost_profile` — a vectorized equivalent that returns the
   whole cost-vs-k staircase in one pass.  Because internal nodes cost
   nothing to pop, hierarchical browsing scans leaf blocks in plain
@@ -30,8 +36,9 @@ from typing import Iterator
 import numpy as np
 
 from repro.geometry import Point, mindist_point_rect
-from repro.index.base import SpatialIndex
-from repro.index.count_index import CountIndex
+from repro.geometry.kernels import mindist_argsort, mindist_rects
+from repro.index.base import Block, SpatialIndex
+from repro.index.snapshot import IndexSnapshot, as_snapshot
 
 
 class DistanceBrowser:
@@ -46,19 +53,50 @@ class DistanceBrowser:
 
     The browser is an iterator yielding points in non-decreasing
     distance order; iteration ends when the index is exhausted.
+
+    Args:
+        index: The data index.
+        query: The query focal point.
+        snapshot: Optional columnar summary of ``index``.  When given,
+            the frontier is seeded directly with all leaf blocks in
+            MINDIST order (one kernel call; a sorted list is a valid
+            heap) instead of descending from the root — the snapshot's
+            ``block_ids`` address ``index.blocks``, so the point data
+            still comes from the index.  Scan costs are identical to
+            the hierarchical path.
     """
 
-    def __init__(self, index: SpatialIndex, query: Point) -> None:
+    def __init__(
+        self,
+        index: SpatialIndex,
+        query: Point,
+        *,
+        snapshot: IndexSnapshot | None = None,
+    ) -> None:
         self._query = query
         self._counter = itertools.count()  # tie-breaker for heap entries
         self._block_queue: list[tuple[float, int, object]] = []
         self._tuple_queue: list[tuple[float, float, float]] = []
         self._blocks_scanned = 0
-        root = index.root
-        heapq.heappush(
-            self._block_queue,
-            (mindist_point_rect(query, root.rect), next(self._counter), root),
-        )
+        if snapshot is not None:
+            blocks = index.blocks
+            if snapshot.n_blocks != len(blocks):
+                raise ValueError(
+                    f"snapshot summarizes {snapshot.n_blocks} blocks but the "
+                    f"index holds {len(blocks)} — stale snapshot?"
+                )
+            order, mindists = mindist_argsort((query.x, query.y), snapshot.rects)
+            # Ascending (mindist, counter, block) tuples: already a heap.
+            self._block_queue = [
+                (float(d), next(self._counter), blocks[int(snapshot.block_ids[i])])
+                for d, i in zip(mindists, order)
+            ]
+        else:
+            root = index.root
+            heapq.heappush(
+                self._block_queue,
+                (mindist_point_rect(query, root.rect), next(self._counter), root),
+            )
 
     @property
     def blocks_scanned(self) -> int:
@@ -73,6 +111,12 @@ class DistanceBrowser:
         if result is None:
             raise StopIteration
         return result
+
+    def _scan(self, block: Block) -> None:
+        self._blocks_scanned += 1
+        dists = block.distances_from(self._query)
+        for dist, (x, y) in zip(dists, block.points):
+            heapq.heappush(self._tuple_queue, (float(dist), float(x), float(y)))
 
     def next_nearest(self) -> tuple[float, float, float] | None:
         """Return the next nearest ``(distance, x, y)``, or ``None``.
@@ -91,14 +135,14 @@ class DistanceBrowser:
             if not self._block_queue:
                 return None
             __, __, node = heapq.heappop(self._block_queue)
-            if node.is_leaf:
+            if isinstance(node, Block):
+                # Snapshot-seeded frontier entry: a leaf block directly.
+                self._scan(node)
+            elif node.is_leaf:
                 block = node.block
                 if block is None:
                     continue  # structurally-empty leaf: no block to scan
-                self._blocks_scanned += 1
-                dists = block.distances_from(self._query)
-                for dist, (x, y) in zip(dists, block.points):
-                    heapq.heappush(self._tuple_queue, (float(dist), float(x), float(y)))
+                self._scan(block)
             else:
                 for child in node.children:
                     heapq.heappush(
@@ -111,13 +155,21 @@ class DistanceBrowser:
                     )
 
 
-def knn_select(index: SpatialIndex, query: Point, k: int) -> tuple[np.ndarray, int]:
+def knn_select(
+    index: SpatialIndex,
+    query: Point,
+    k: int,
+    *,
+    snapshot: IndexSnapshot | None = None,
+) -> tuple[np.ndarray, int]:
     """Run a k-NN-Select via distance browsing.
 
     Args:
         index: The data index.
         query: The query focal point.
         k: Number of neighbors to retrieve.
+        snapshot: Optional precomputed summary for flat frontier
+            seeding (see :class:`DistanceBrowser`).
 
     Returns:
         ``(neighbors, cost)`` where ``neighbors`` is a ``(m, 2)`` array
@@ -130,7 +182,7 @@ def knn_select(index: SpatialIndex, query: Point, k: int) -> tuple[np.ndarray, i
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    browser = DistanceBrowser(index, query)
+    browser = DistanceBrowser(index, query, snapshot=snapshot)
     found = list(itertools.islice(browser, k))
     neighbors = np.array([(x, y) for __, x, y in found], dtype=float).reshape(-1, 2)
     return neighbors, browser.blocks_scanned
@@ -143,7 +195,7 @@ def select_cost(index: SpatialIndex, query: Point, k: int) -> int:
 
 
 def select_cost_profile(
-    count_index: CountIndex,
+    count_index,
     blocks,
     query: Point,
     max_k: int,
@@ -158,21 +210,23 @@ def select_cost_profile(
     points with distance strictly below the next block's MINDIST.
 
     Args:
-        count_index: Count-Index over the data blocks (supplies the
-            MINDIST ordering without touching points).
+        count_index: Block summary of the data blocks (an
+            :class:`~repro.index.snapshot.IndexSnapshot`, a
+            :class:`~repro.index.count_index.CountIndex`, or a raw
+            index) — supplies the MINDIST ordering without touching
+            points.
         blocks: The data blocks themselves, indexable by the
-            Count-Index block order (catalog *construction* is the one
+            summary's block order (catalog *construction* is the one
             offline step that does read points).  A columnar
             :class:`repro.perf.BlockPointsView` is also accepted and
             answers the distance gather in one batched call.
         query: The anchor point.
         max_k: Largest k the profile must cover.
-        mindists_all: Optional precomputed
-            ``count_index.mindist_from_point(query)`` array.  Batching
-            callers (:func:`repro.perf.select_cost_profiles`) compute
-            the MINDIST matrix of many anchors at once; the values must
-            be identical to the per-point path (and are, see
-            :func:`repro.geometry.mindist_points_rects`).
+        mindists_all: Optional precomputed per-block MINDIST array.
+            Batching callers (:func:`repro.perf.select_cost_profiles`)
+            compute the MINDIST matrix of many anchors at once; the
+            values must be identical to the per-point path (and are,
+            see :func:`repro.geometry.kernels.mindist_rects_batch`).
 
     Returns:
         A list of ``(k_start, k_end, cost)`` entries with contiguous,
@@ -185,11 +239,12 @@ def select_cost_profile(
     """
     if max_k < 1:
         raise ValueError(f"max_k must be >= 1, got {max_k}")
-    n_blocks = count_index.n_blocks
+    snap = as_snapshot(count_index)
+    n_blocks = snap.n_blocks
     if n_blocks == 0:
         return []
     if mindists_all is None:
-        mindists_all = count_index.mindist_from_point(query)
+        mindists_all = mindist_rects((query.x, query.y), snap.rects)
 
     # Only the blocks nearest to the query matter, but how many is not
     # known in advance (low-density areas can force scanning far beyond
@@ -197,7 +252,7 @@ def select_cost_profile(
     # partition — far cheaper than a full argsort of every block for
     # every catalog anchor — and grow it geometrically until the
     # profile reaches max_k.
-    avg_count = max(1.0, count_index.total_count / n_blocks)
+    avg_count = max(1.0, snap.total_count / n_blocks)
     candidates = min(n_blocks, int(max_k / avg_count) + 8)
     while True:
         if candidates < n_blocks:
@@ -260,7 +315,7 @@ def select_cost_profile(
 
 
 def select_cost_exact(
-    count_index: CountIndex,
+    count_index,
     blocks,
     query: Point,
     k: int,
@@ -275,14 +330,15 @@ def select_cost_exact(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    profile = select_cost_profile(count_index, blocks, query, k)
+    snap = as_snapshot(count_index)
+    profile = select_cost_profile(snap, blocks, query, k)
     if not profile:
         return 0
     for k_start, k_end, cost in profile:
         if k <= k_end:
             return cost
     # Fewer than k points exist: the browser exhausts the whole index.
-    return count_index.n_blocks
+    return snap.n_blocks
 
 
 def brute_force_knn(points: np.ndarray, query: Point, k: int) -> np.ndarray:

@@ -12,6 +12,15 @@ encountered block (MINDIST <= M) belongs to the locality.
 The join cost the paper estimates is the total number of blocks scanned:
 the sum of locality sizes over all outer blocks.
 
+All functions here consume the columnar block summary — an
+:class:`~repro.index.snapshot.IndexSnapshot`, or anything
+:func:`~repro.index.snapshot.as_snapshot` can normalize (a
+:class:`~repro.index.count_index.CountIndex`, a raw
+:class:`~repro.index.base.SpatialIndex`) — and compute with the
+vectorized :mod:`repro.geometry.kernels`.  The outer anchor may be a
+:class:`~repro.geometry.rect.Rect` or bare ``(x_min, y_min, x_max,
+y_max)`` bounds.
+
 :func:`locality_size_profile` computes the locality-size-vs-k staircase
 in one pass — the semantics of the paper's Procedure 2 (see DESIGN.md §5
 for the pseudocode discrepancy we resolve in favour of the worked
@@ -27,34 +36,52 @@ Zero-count-block semantics
 :func:`locality_size_profile` (the all-k staircase path) must agree for
 every ``k`` — the profile is the Catalog-Merge/Virtual-Grid
 preprocessing input, while the per-k path is the oracle the tests
-compare against.  The one place the two formulations *could* diverge is
-an inner block holding zero points: the per-k path marks ``M`` at the
-first prefix whose cumulative count reaches ``k`` (a zero-count block
-never advances the cumulative sum but could still raise the running
-MAXDIST), whereas the staircase path emits one range per *count-bearing*
-prefix and skips ranges a zero-count block would terminate.  By
-construction this cannot happen here: :class:`~repro.index.count_index.
-CountIndex` rejects non-positive block counts (the Count-Index only
-tracks non-empty blocks, per DESIGN.md §5), so every prefix strictly
-increases the cumulative count and the two paths are equal for every
-``k`` in ``[1, total inner points]`` — property-tested in
-``tests/test_perf_parallel.py`` (``test_locality_profile_matches_per_k``).
+compare against.  With a :class:`~repro.index.count_index.CountIndex`
+inner, zero-count blocks cannot occur (the Count-Index only tracks
+non-empty blocks, per DESIGN.md §5).  A bare snapshot *may* carry
+zero-count blocks, and both paths handle them identically: a zero-count
+block never advances the cumulative sum, but while it sits inside the
+accumulating prefix its MAXDIST still raises the running mark ``M``
+(the per-k path takes the max over the whole prefix up to the first
+count-reaching block; the staircase path folds it into the running
+maximum and simply emits no k-range of its own).  The agreement is
+property-tested in ``tests/test_perf_parallel.py``
+(``test_locality_profile_matches_per_k``) and the zero-count edge case
+in ``tests/test_snapshot_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import Rect
-from repro.index.count_index import CountIndex
+from repro.geometry.kernels import (
+    as_anchor,
+    maxdist_rects,
+    maxdist_rects_batch,
+    mindist_argsort,
+    mindist_rects_batch,
+)
+from repro.index.snapshot import IndexSnapshot, as_snapshot
 
 
-def locality_block_indices(inner: CountIndex, outer_rect: Rect, k: int) -> np.ndarray:
+def _outer_anchor(outer_rect) -> np.ndarray:
+    """Normalize the outer block to ``(x_min, y_min, x_max, y_max)``."""
+    anchor = as_anchor(outer_rect)
+    if anchor.shape[0] != 4:
+        raise ValueError(
+            f"outer block must be rect bounds (4,), got shape {anchor.shape}"
+        )
+    return anchor
+
+
+def locality_block_indices(inner, outer_rect, k: int) -> np.ndarray:
     """Return the inner-block indices forming the locality of ``outer_rect``.
 
     Args:
-        inner: Count-Index over the inner relation's blocks.
-        outer_rect: Extent of the outer block.
+        inner: Block summary of the inner relation — an
+            :class:`~repro.index.snapshot.IndexSnapshot` or anything
+            :func:`~repro.index.snapshot.as_snapshot` accepts.
+        outer_rect: Extent of the outer block (``Rect`` or bounds).
         k: The join's k.
 
     Returns:
@@ -66,15 +93,17 @@ def locality_block_indices(inner: CountIndex, outer_rect: Rect, k: int) -> np.nd
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    if inner.n_blocks == 0:
+    snap = as_snapshot(inner)
+    if snap.n_blocks == 0:
         return np.empty(0, dtype=np.int64)
-    order, mindists = inner.mindist_order_from_rect(outer_rect)
-    counts = inner.counts[order]
+    anchor = _outer_anchor(outer_rect)
+    order, mindists = mindist_argsort(anchor, snap.rects)
+    counts = snap.counts[order]
     cumulative = np.cumsum(counts)
     first_enough = int(np.searchsorted(cumulative, k, side="left"))
     if first_enough >= order.shape[0]:
         return order  # fewer than k inner points: everything qualifies
-    maxdists = inner.maxdist_from_rect(outer_rect)[order]
+    maxdists = maxdist_rects(anchor, snap.rects)[order]
     marked = float(maxdists[: first_enough + 1].max())
     # Scanning continues until a block of MINDIST > marked appears, so
     # the locality is the prefix with MINDIST <= marked.
@@ -82,19 +111,70 @@ def locality_block_indices(inner: CountIndex, outer_rect: Rect, k: int) -> np.nd
     return order[:size]
 
 
-def locality_size(inner: CountIndex, outer_rect: Rect, k: int) -> int:
+def locality_size(inner, outer_rect, k: int) -> int:
     """Number of inner blocks in the locality of ``outer_rect`` for ``k``."""
     return int(locality_block_indices(inner, outer_rect, k).shape[0])
 
 
+def locality_sizes(inner, outer_rects, k: int) -> np.ndarray:
+    """Locality sizes of many outer blocks against one inner summary.
+
+    The batched sibling of :func:`locality_size`: one ``(m, n)``
+    MINDIST/MAXDIST tableau answers every outer block at once, row-wise
+    identical to the per-rect path (``mindist_rects_batch`` applies the
+    same ufunc chain as ``mindist_rects``).
+
+    Args:
+        inner: Block summary of the inner relation.
+        outer_rects: ``(m, 4)`` array of outer block bounds.
+        k: The join's k.
+
+    Returns:
+        ``(m,)`` int64 array of locality sizes.
+
+    Raises:
+        ValueError: If ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    snap = as_snapshot(inner)
+    outer_rects = np.asarray(outer_rects, dtype=float).reshape(-1, 4)
+    m = outer_rects.shape[0]
+    n = snap.n_blocks
+    if n == 0 or m == 0:
+        return np.zeros(m, dtype=np.int64)
+    mindists = mindist_rects_batch(outer_rects, snap.rects)
+    maxdists = maxdist_rects_batch(outer_rects, snap.rects)
+    order = np.argsort(mindists, axis=1, kind="stable")
+    rows = np.arange(m)[:, None]
+    sorted_min = np.take_along_axis(mindists, order, axis=1)
+    cum_counts = np.cumsum(snap.counts[order], axis=1)
+    running_max = np.maximum.accumulate(
+        np.take_along_axis(maxdists, order, axis=1), axis=1
+    )
+    # Per row: index of the first prefix whose cumulative count reaches
+    # k (== searchsorted-left on the non-decreasing cumulative sums).
+    first_enough = (cum_counts < k).sum(axis=1)
+    sizes = np.full(m, n, dtype=np.int64)  # < k inner points: everything
+    reachable = first_enough < n
+    if np.any(reachable):
+        marked = running_max[rows[reachable, 0], first_enough[reachable]]
+        # Prefix with MINDIST <= marked (== searchsorted-right on the
+        # sorted row), counted with one comparison per cell.
+        sizes[reachable] = (
+            sorted_min[reachable] <= marked[:, None]
+        ).sum(axis=1)
+    return sizes
+
+
 def locality_size_profile(
-    inner: CountIndex, outer_rect: Rect, max_k: int
+    inner, outer_rect, max_k: int
 ) -> list[tuple[int, int, int]]:
     """Locality-size-vs-k staircase for one outer block (Procedure 2).
 
     Args:
-        inner: Count-Index over the inner relation's blocks.
-        outer_rect: Extent of the outer block.
+        inner: Block summary of the inner relation.
+        outer_rect: Extent of the outer block (``Rect`` or bounds).
         max_k: Largest k the profile must cover.
 
     Returns:
@@ -107,11 +187,13 @@ def locality_size_profile(
     """
     if max_k < 1:
         raise ValueError(f"max_k must be >= 1, got {max_k}")
-    if inner.n_blocks == 0:
+    snap = as_snapshot(inner)
+    if snap.n_blocks == 0:
         return []
-    order, mindists = inner.mindist_order_from_rect(outer_rect)
-    counts = inner.counts[order]
-    maxdists = inner.maxdist_from_rect(outer_rect)[order]
+    anchor = _outer_anchor(outer_rect)
+    order, mindists = mindist_argsort(anchor, snap.rects)
+    counts = snap.counts[order]
+    maxdists = maxdist_rects(anchor, snap.rects)[order]
     cumulative = np.cumsum(counts)
     running_max = np.maximum.accumulate(maxdists)
     # For the prefix ending at block i, the locality size is the number
@@ -124,7 +206,7 @@ def locality_size_profile(
     for i in range(order.shape[0]):
         k_end = int(cumulative[i])
         if k_end <= k_reached:
-            continue  # can't happen with positive counts; guard anyway
+            continue  # zero-count block: raises the mark, adds no range
         size = int(sizes[i])
         if profile and profile[-1][2] == size:
             # Redundant-entry elimination: extend the previous range.

@@ -21,9 +21,11 @@ Staircase, Catalog-Merge, and Virtual-Grid estimators:
   the build serial and in-process for determinism of *environment* —
   results are identical either way, asserted by the equivalence suite.
 
-Worker processes receive the columnar payload (bounds, counts,
-concatenated points, offsets) once via the pool initializer, so each
-chunk message carries only anchor coordinates.
+Worker processes receive the :class:`~repro.index.snapshot.IndexSnapshot`
+(plus, for select profiles, the columnar points payload) once via the
+pool initializer — the snapshot is the pickle-cheap block-summary
+contract, so no worker re-materializes per-leaf structures — and each
+chunk message then carries only anchor coordinates.
 """
 
 from __future__ import annotations
@@ -33,8 +35,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.geometry import Point, Rect, mindist_points_rects
-from repro.index.count_index import CountIndex
+from repro.geometry import Point
+from repro.geometry.kernels import as_anchor, mindist_rects_batch
+from repro.index.snapshot import IndexSnapshot, as_snapshot
 from repro.knn.distance_browsing import select_cost_profile
 from repro.knn.locality import locality_size_profile
 
@@ -140,28 +143,36 @@ def _chunked(items: list, n_chunks: int) -> list[list]:
     return chunks
 
 
+def _rect_rows(rects) -> np.ndarray:
+    """Normalize a rect sequence (Rects, tuples, or ndarray) to ``(m, 4)``."""
+    if isinstance(rects, np.ndarray):
+        return np.asarray(rects, dtype=float).reshape(-1, 4)
+    if len(rects) == 0:
+        return np.empty((0, 4), dtype=float)
+    return np.stack([as_anchor(r) for r in rects])
+
+
 # ----------------------------------------------------------------------
-# Worker-process state.  The pool initializer rebuilds the Count-Index
-# and points view once per process; chunk messages then carry only the
-# anchor coordinates.
+# Worker-process state.  The pool initializer receives the pickled
+# IndexSnapshot (and points view) once per process; chunk messages then
+# carry only the anchor coordinates.
 # ----------------------------------------------------------------------
 _WORKER_STATE: dict = {}
 
 
 def _init_select_worker(
-    bounds: np.ndarray,
-    counts: np.ndarray,
+    snapshot: IndexSnapshot,
     points: np.ndarray,
     offsets: np.ndarray,
     max_k: int,
 ) -> None:
-    _WORKER_STATE["count_index"] = CountIndex(bounds, counts)
+    _WORKER_STATE["summary"] = snapshot
     _WORKER_STATE["view"] = BlockPointsView(points, offsets)
     _WORKER_STATE["max_k"] = int(max_k)
 
 
 def _profiles_batched(
-    count_index: CountIndex,
+    summary: IndexSnapshot,
     view: BlockPointsView,
     anchor_coords: Sequence[tuple[float, float]],
     max_k: int,
@@ -169,18 +180,18 @@ def _profiles_batched(
     """Profile anchors in order, batching the MINDIST computation.
 
     Anchor-to-block MINDISTs are computed a few hundred anchors at a
-    time via :func:`~repro.geometry.mindist_points_rects` (row-for-row
-    identical to the per-anchor path) and fed to
+    time via :func:`~repro.geometry.kernels.mindist_rects_batch`
+    (row-for-row identical to the per-anchor path) and fed to
     ``select_cost_profile``, which otherwise runs unchanged.
     """
     profiles: list[Profile] = []
-    bounds = count_index.bounds_array
+    rects = summary.rects
     for start in range(0, len(anchor_coords), _MINDIST_BATCH):
         batch = anchor_coords[start : start + _MINDIST_BATCH]
-        mindist_matrix = mindist_points_rects(np.asarray(batch, dtype=float), bounds)
+        mindist_matrix = mindist_rects_batch(np.asarray(batch, dtype=float), rects)
         profiles.extend(
             select_cost_profile(
-                count_index,
+                summary,
                 view,
                 Point(x, y),
                 max_k,
@@ -193,15 +204,15 @@ def _profiles_batched(
 
 def _select_chunk(anchor_coords: list[tuple[float, float]]) -> list[Profile]:
     return _profiles_batched(
-        _WORKER_STATE["count_index"],
+        _WORKER_STATE["summary"],
         _WORKER_STATE["view"],
         anchor_coords,
         _WORKER_STATE["max_k"],
     )
 
 
-def _init_locality_worker(bounds: np.ndarray, counts: np.ndarray, max_k: int) -> None:
-    _WORKER_STATE["inner"] = CountIndex(bounds, counts)
+def _init_locality_worker(snapshot: IndexSnapshot, max_k: int) -> None:
+    _WORKER_STATE["inner"] = snapshot
     _WORKER_STATE["max_k"] = int(max_k)
 
 
@@ -210,13 +221,11 @@ def _locality_chunk(
 ) -> list[Profile]:
     inner = _WORKER_STATE["inner"]
     max_k = _WORKER_STATE["max_k"]
-    return [
-        locality_size_profile(inner, Rect(*bounds), max_k) for bounds in rect_bounds
-    ]
+    return [locality_size_profile(inner, bounds, max_k) for bounds in rect_bounds]
 
 
 def select_cost_profiles(
-    count_index: CountIndex,
+    count_index,
     view: BlockPointsView,
     anchors: Sequence[Point],
     max_k: int,
@@ -225,7 +234,10 @@ def select_cost_profiles(
     """Cost profiles for many anchors, in anchor order.
 
     Args:
-        count_index: Count-Index over the data blocks.
+        count_index: Block summary of the data blocks (an
+            :class:`~repro.index.snapshot.IndexSnapshot`, a
+            :class:`~repro.index.count_index.CountIndex`, or a raw
+            index).
         view: Columnar points view of the same blocks (same order).
         anchors: Anchor points to profile.
         max_k: Largest k each profile must cover.
@@ -239,28 +251,23 @@ def select_cost_profiles(
     workers = resolve_workers(workers)
     if len(anchors) == 0:
         return []
+    summary = as_snapshot(count_index)
     coords = [(a.x, a.y) for a in anchors]
     if workers <= 1 or len(anchors) <= 1:
-        return _profiles_batched(count_index, view, coords, max_k)
+        return _profiles_batched(summary, view, coords, max_k)
     chunks = _chunked(coords, workers * _CHUNKS_PER_WORKER)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_select_worker,
-        initargs=(
-            count_index.bounds_array,
-            count_index.counts,
-            view.points,
-            view.offsets,
-            max_k,
-        ),
+        initargs=(summary, view.points, view.offsets, max_k),
     ) as pool:
         chunk_results = list(pool.map(_select_chunk, chunks))
     return [profile for chunk in chunk_results for profile in chunk]
 
 
 def locality_size_profiles(
-    inner: CountIndex,
-    rects: Sequence[Rect],
+    inner,
+    rects,
     max_k: int,
     workers: int | None = None,
 ) -> list[Profile]:
@@ -269,16 +276,27 @@ def locality_size_profiles(
     The join-estimator counterpart of :func:`select_cost_profiles`:
     fans :func:`~repro.knn.locality.locality_size_profile` out over the
     sampled outer blocks (Catalog-Merge) or grid cells (Virtual-Grid).
+
+    Args:
+        inner: Block summary of the inner relation (snapshot,
+            Count-Index, or raw index).
+        rects: Outer rectangles — a sequence of
+            :class:`~repro.geometry.rect.Rect`/bounds tuples or an
+            ``(m, 4)`` bounds array.
+        max_k: Largest k each profile must cover.
+        workers: ``0``/``1``/``None`` for serial, ``N > 1`` for a pool.
     """
     workers = resolve_workers(workers)
-    if workers <= 1 or len(rects) <= 1:
-        return [locality_size_profile(inner, rect, max_k) for rect in rects]
-    rect_bounds = [r.as_tuple() for r in rects]
+    summary = as_snapshot(inner)
+    rows = _rect_rows(rects)
+    if workers <= 1 or rows.shape[0] <= 1:
+        return [locality_size_profile(summary, row, max_k) for row in rows]
+    rect_bounds = [tuple(row) for row in rows]
     chunks = _chunked(rect_bounds, workers * _CHUNKS_PER_WORKER)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_locality_worker,
-        initargs=(inner.bounds_array, inner.counts, max_k),
+        initargs=(summary, max_k),
     ) as pool:
         chunk_results = list(pool.map(_locality_chunk, chunks))
     return [profile for chunk in chunk_results for profile in chunk]
