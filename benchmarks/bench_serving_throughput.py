@@ -1,0 +1,135 @@
+"""Serving-throughput bench: batched pipeline vs the scalar loop.
+
+The batched serving PR's performance claims, measured directly on a 10k
+query workload:
+
+* ``StaircaseEstimator.estimate_batch`` must reach at least 5x the
+  queries/sec of a scalar ``estimate`` loop (the per-query leaf lookup +
+  catalog search + Eq. 1-2 interpolation path);
+* the full ``SpatialEngine.execute_batch`` pipeline — guards, batched
+  planning, batched incremental-k-NN execution — must reach at least 2x
+  a scalar ``execute`` loop.
+
+Both comparisons assert *exact* equality of the per-query outputs, not
+just statistical agreement: the batch paths are contractually
+bit-identical to their scalar loops.
+
+The scalar references are measured over a subset and extrapolated on
+per-call time (the loop's cost is linear in the workload), exactly as in
+``bench_estimation_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+from repro.estimators import StaircaseEstimator
+from repro.experiments.common import build_index, dataset
+from repro.geometry import Point
+from repro.index import IndexSnapshot
+from repro.workloads import QueryBatch, serve_workload
+
+N_QUERIES = 10_000
+# Scalar reference loops are measured over a subset and compared on
+# per-call time; running them over all 10k queries would dominate the
+# bench without changing the ratio.
+N_REFERENCE = 500
+
+
+def _select_workload(cfg, max_k: int):
+    index = build_index(cfg.scales[0], cfg.base_n, cfg.capacity, cfg.seed, cfg.dataset_kind)
+    rng = np.random.default_rng(cfg.seed)
+    bounds = index.bounds
+    queries = np.column_stack(
+        [
+            rng.uniform(bounds.x_min, bounds.x_max, N_QUERIES),
+            rng.uniform(bounds.y_min, bounds.y_max, N_QUERIES),
+        ]
+    )
+    ks = rng.integers(1, max_k + 1, N_QUERIES)
+    return index, queries, ks
+
+
+def test_staircase_estimate_batch_throughput(benchmark, bench_config):
+    cfg = bench_config
+    index, queries, ks = _select_workload(cfg, cfg.max_k)
+    snapshot = IndexSnapshot.from_index(index)
+    estimator = StaircaseEstimator(
+        index, max_k=cfg.max_k, snapshot=snapshot
+    )
+
+    batched = benchmark(estimator.estimate_batch, queries, ks)
+    start = time.perf_counter()
+    batched = estimator.estimate_batch(queries, ks)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    per_query = np.array(
+        [
+            estimator.estimate(Point(float(x), float(y)), int(k))
+            for (x, y), k in zip(queries[:N_REFERENCE], ks[:N_REFERENCE])
+        ]
+    )
+    per_query_s = (time.perf_counter() - start) * (N_QUERIES / N_REFERENCE)
+
+    # Same floats, not just close ones: the batch path is contractually
+    # a vectorization of the scalar Eq. 1-2 interpolation.
+    np.testing.assert_array_equal(batched[:N_REFERENCE], per_query)
+    speedup = per_query_s / batched_s
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["staircase_batch_speedup"] = round(speedup, 1)
+    assert speedup >= 5.0, (
+        f"batched Staircase estimation is only {speedup:.2f}x the scalar "
+        f"loop ({batched_s:.3f}s vs {per_query_s:.3f}s extrapolated)"
+    )
+
+
+def test_execute_batch_throughput(benchmark, bench_config):
+    cfg = bench_config
+    points = dataset(cfg.scales[0], cfg.base_n, cfg.seed, cfg.dataset_kind)
+    max_k = min(64, cfg.max_k)
+    batch = QueryBatch.data_distributed(points, N_QUERIES, max_k, seed=cfg.seed)
+
+    def build_engine() -> SpatialEngine:
+        engine = SpatialEngine(StatisticsManager(max_k=cfg.max_k))
+        engine.register(SpatialTable("points", points, capacity=cfg.capacity))
+        return engine
+
+    # Warm one engine (snapshot + catalogs + estimator chains) per mode
+    # so the bench measures serving, not preprocessing.
+    batch_engine = build_engine()
+    serve_workload(batch_engine, "points", QueryBatch(batch.points[:8], batch.ks[:8]))
+    scalar_engine = build_engine()
+    serve_workload(scalar_engine, "points", QueryBatch(batch.points[:8], batch.ks[:8]))
+
+    benchmark(
+        serve_workload, batch_engine, "points", batch, mode="batch"
+    )
+    batch_report = serve_workload(batch_engine, "points", batch, mode="batch")
+
+    reference = QueryBatch(batch.points[:N_REFERENCE], batch.ks[:N_REFERENCE])
+    scalar_report = serve_workload(scalar_engine, "points", reference, mode="scalar")
+    scalar_s = scalar_report.seconds * (N_QUERIES / N_REFERENCE)
+
+    # Exact per-query equality on the measured subset: same rows in the
+    # same order, same block counts, same plan choice.
+    for scalar_result, batch_result in zip(
+        scalar_report.results, batch_report.results
+    ):
+        assert scalar_result.operator == batch_result.operator
+        assert scalar_result.blocks_scanned == batch_result.blocks_scanned
+        np.testing.assert_array_equal(scalar_result.row_ids, batch_result.row_ids)
+
+    speedup = scalar_s / batch_report.seconds
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["execute_batch_speedup"] = round(speedup, 1)
+    benchmark.extra_info["batch_queries_per_second"] = round(
+        batch_report.queries_per_second
+    )
+    assert speedup >= 2.0, (
+        f"execute_batch is only {speedup:.2f}x the scalar execute loop "
+        f"({batch_report.seconds:.3f}s vs {scalar_s:.3f}s extrapolated)"
+    )

@@ -110,10 +110,29 @@ class IntervalCatalog:
         return float(self._cost[idx])
 
     def lookup_many(self, ks: Sequence[int] | np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`lookup` over an array of k values."""
-        ks = np.asarray(ks, dtype=np.int64)
-        if ks.size and (ks.min() < 1 or ks.max() > self.max_k):
-            raise CatalogLookupError("some k values fall outside the catalog range")
+        """Vectorized :meth:`lookup` over an array of k values.
+
+        Exactly equivalent to looping :meth:`lookup` — including the
+        edge cases: an empty ``ks`` returns an empty float array, and an
+        invalid value raises the same error the scalar call would, at
+        the first offending position (``ValueError`` for ``k < 1``,
+        :class:`CatalogLookupError` for ``k > max_k``).
+
+        Raises:
+            ValueError: If any ``k < 1``.
+            CatalogLookupError: If any ``k`` exceeds :attr:`max_k`.
+        """
+        ks = np.asarray(ks, dtype=np.int64).reshape(-1)
+        if ks.size == 0:
+            return np.empty(0, dtype=float)
+        invalid = (ks < 1) | (ks > self.max_k)
+        if invalid.any():
+            k = int(ks[int(np.argmax(invalid))])
+            if k < 1:
+                raise ValueError(f"k must be >= 1, got {k}")
+            raise CatalogLookupError(
+                f"k={k} exceeds the catalog's supported maximum {self.max_k}"
+            )
         idx = np.searchsorted(self._k_end, ks, side="left")
         return self._cost[idx]
 

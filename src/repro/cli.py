@@ -7,6 +7,7 @@ Subcommands::
     python -m repro visualize points.csv --blocks
     python -m repro staircase points.csv --x 500 --y 500 --max-k 1024
     python -m repro estimate-select points.csv --x 500 --y 500 -k 64
+    python -m repro estimate-select points.csv --batch queries.csv --cache-size 4096
     python -m repro estimate-join outer.csv inner.csv -k 32 --technique catalog-merge
 
 Every estimation command prints the estimate, the ground-truth cost,
@@ -47,7 +48,7 @@ from repro.estimators import UniformModelEstimator
 from repro.geometry import Point
 from repro.index import IndexSnapshot, Quadtree
 from repro.knn import knn_join_cost, select_cost_exact, select_cost_profile
-from repro.resilience.errors import EstimationError
+from repro.resilience.errors import EstimationError, InvalidQueryError
 from repro.resilience.guards import require_finite_coordinates
 from repro.resilience.fallback import (
     FallbackJoinEstimator,
@@ -120,6 +121,14 @@ def _cmd_staircase(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate_select(args: argparse.Namespace) -> int:
+    if args.batch is not None:
+        return _run_select_batch(args)
+    if args.x is None or args.y is None or args.k is None:
+        print(
+            "error: --x, --y and -k are required unless --batch is given",
+            file=sys.stderr,
+        )
+        return 2
     index = _load_index(args.points, args.capacity)
     # One columnar gather serves the estimators and the ground truth.
     snapshot = IndexSnapshot.from_index(index)
@@ -158,6 +167,44 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
     print(f"error:      {error:.1%}")
     _print_preprocessing(estimator)
     _print_degradation(estimator)
+    return 0
+
+
+def _run_select_batch(args: argparse.Namespace) -> int:
+    """The ``estimate-select --batch`` serving mode.
+
+    Reads an ``x,y,k`` query CSV, replays it through
+    ``SpatialEngine.execute_batch``, and prints aggregate latency,
+    throughput, and the estimate cache's hit rate.  ``--strict`` keeps
+    its meaning: fallback degradation is disabled and suspicious queries
+    become errors (exit code 2) instead of notes.
+    """
+    from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+    from repro.workloads import QueryBatch, serve_workload
+
+    points = load_points_csv(args.points)
+    try:
+        batch = QueryBatch.from_csv(args.batch)
+    except ValueError as exc:
+        raise InvalidQueryError(str(exc)) from exc
+    engine = SpatialEngine(
+        StatisticsManager(
+            max_k=args.max_k,
+            fallback=not args.strict,
+            strict=args.strict,
+            workers=args.workers,
+            estimate_cache_size=args.cache_size,
+        )
+    )
+    engine.register(SpatialTable("points", points, capacity=args.capacity))
+    report = serve_workload(engine, "points", batch, mode="batch")
+    print(f"workload:    {batch.describe()}")
+    print(report.describe())
+    degraded = sum(
+        1 for explanation in report.explanations if explanation.degraded
+    )
+    if degraded:
+        print(f"degraded:    {degraded} of {report.n_queries} plans")
     return 0
 
 
@@ -261,9 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("estimate-select", help="estimate a k-NN-Select cost")
     p.add_argument("points", help="points CSV")
-    p.add_argument("--x", type=float, required=True)
-    p.add_argument("--y", type=float, required=True)
-    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--x", type=float, default=None)
+    p.add_argument("--y", type=float, default=None)
+    p.add_argument("-k", type=int, default=None)
+    p.add_argument(
+        "--batch",
+        metavar="QUERIES_CSV",
+        default=None,
+        help="replay an x,y,k query CSV through execute_batch and report "
+        "throughput instead of estimating one query",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="estimate-cache capacity for --batch serving (0 disables)",
+    )
     p.add_argument(
         "--technique", choices=["staircase", "density"], default="staircase"
     )

@@ -20,6 +20,7 @@ deliberately small but complete end-to-end:
   and ``execute`` queries.
 """
 
+from repro.engine.cache import EstimateCache
 from repro.engine.table import SpatialTable
 from repro.engine.expressions import (
     And,
@@ -36,6 +37,7 @@ from repro.engine.stats import StatisticsManager
 from repro.engine.engine import SpatialEngine
 
 __all__ = [
+    "EstimateCache",
     "SpatialTable",
     "Predicate",
     "AttributePredicate",

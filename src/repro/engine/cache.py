@@ -1,0 +1,193 @@
+"""Generation-keyed LRU cache for select-cost estimates.
+
+Under heavy serving traffic the same neighborhoods are estimated over
+and over: workloads are spatially skewed, and the Staircase answer for
+two nearby focal points with the same ``k`` is the same catalog
+interpolation give or take the Eq. 1 distance term.  The cache exploits
+that by quantizing the focal point onto a ``cells x cells`` grid over
+the table's bounds and memoizing one estimate per
+``(table, data_generation, cell_x, cell_y, k)`` key.
+
+Two properties make it safe to sit under the planner:
+
+* **Invalidation is structural.**  The table's ``data_generation`` is
+  part of the key, so the instant a
+  :class:`~repro.index.mutable_quadtree.MutableQuadtree` mutates, every
+  cached entry stops matching — no flush coordination with the
+  staleness machinery is needed (stale entries age out of the LRU).
+  Re-registering a table purges its entries eagerly.
+* **It is opt-in and approximate.**  Queries that share a cell share an
+  estimate, so a cache hit can return the estimate computed for a
+  *nearby* focal point.  The engine keeps the cache off by default
+  (``StatisticsManager(estimate_cache_size=0)``); turning it on trades
+  per-query exactness of the *estimate* (never of query results) for
+  serving throughput.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+#: (table, data_generation, cell_x, cell_y, k)
+CacheKey = tuple[str, int, int, int, int]
+
+#: Default quantization resolution per axis.
+DEFAULT_CACHE_CELLS = 256
+
+
+class EstimateCache:
+    """A bounded LRU of select-cost estimates with hit/miss counters.
+
+    Args:
+        max_entries: Capacity; the least recently used entry is evicted
+            beyond it.
+        cells: Quantization resolution per axis (the key grid is
+            ``cells x cells`` over each table's bounds).
+
+    Raises:
+        ValueError: On a non-positive capacity or resolution.
+    """
+
+    def __init__(self, max_entries: int, cells: int = DEFAULT_CACHE_CELLS) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if cells < 1:
+            raise ValueError(f"cells must be >= 1, got {cells}")
+        self.max_entries = int(max_entries)
+        self.cells = int(cells)
+        self._entries: OrderedDict[CacheKey, float] = OrderedDict()
+        #: Lookups answered from the cache.
+        self.hits = 0
+        #: Lookups that fell through to the estimator.
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def _axis_cell(self, value: float, lo: float, hi: float) -> int:
+        span = hi - lo
+        if span <= 0.0:
+            return 0
+        cell = int((value - lo) / span * self.cells)
+        return min(max(cell, 0), self.cells - 1)
+
+    def key(
+        self, table: str, data_generation: int, x: float, y: float, k: int, bounds
+    ) -> CacheKey:
+        """Build the cache key for one query.
+
+        Args:
+            table: Registered table name.
+            data_generation: The table index's mutation counter — baking
+                it into the key is what makes a generation bump
+                invalidate every prior entry.
+            x: Focal x coordinate (quantized; out-of-bounds clamps to
+                the edge cells).
+            y: Focal y coordinate.
+            k: Number of neighbors.
+            bounds: The table's indexed bounds (``Rect``-like).
+        """
+        return (
+            table,
+            int(data_generation),
+            self._axis_cell(x, bounds.x_min, bounds.x_max),
+            self._axis_cell(y, bounds.y_min, bounds.y_max),
+            int(k),
+        )
+
+    def keys_for(
+        self, table: str, data_generation: int, pts: np.ndarray, ks: np.ndarray, bounds
+    ) -> list[CacheKey]:
+        """Vectorized :meth:`key` over an ``(m, 2)`` query batch."""
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        span_x = bounds.x_max - bounds.x_min
+        span_y = bounds.y_max - bounds.y_min
+        if span_x > 0.0:
+            cx = np.clip(
+                ((pts[:, 0] - bounds.x_min) / span_x * self.cells).astype(np.int64),
+                0,
+                self.cells - 1,
+            )
+        else:
+            cx = np.zeros(m, dtype=np.int64)
+        if span_y > 0.0:
+            cy = np.clip(
+                ((pts[:, 1] - bounds.y_min) / span_y * self.cells).astype(np.int64),
+                0,
+                self.cells - 1,
+            )
+        else:
+            cy = np.zeros(m, dtype=np.int64)
+        generation = int(data_generation)
+        return [
+            (table, generation, int(cx[i]), int(cy[i]), int(ks[i]))
+            for i in range(m)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> float | None:
+        """Return the cached estimate, or ``None`` on a miss.
+
+        Hits refresh the entry's LRU position; both outcomes bump the
+        counters.
+        """
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value: float) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail."""
+        self._entries[key] = float(value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, table: str | None = None) -> int:
+        """Drop entries (all, or one table's); returns the count dropped.
+
+        Counters are preserved — invalidation is routine maintenance,
+        not a statistics reset.
+        """
+        if table is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        stale = [key for key in self._entries if key[0] == table]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (e.g. between benchmark phases)."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (
+            f"{len(self._entries)}/{self.max_entries} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"(hit rate {self.hit_rate:.1%})"
+        )

@@ -10,8 +10,18 @@ the statistics manager is configured with ``strict=True``.
 
 from __future__ import annotations
 
-from repro.engine.physical import ExecutionResult
-from repro.engine.planner import PlanExplanation, plan_join, plan_range, plan_select
+from repro.engine.physical import (
+    ExecutionResult,
+    IncrementalKnnOperator,
+    execute_incremental_knn_batch,
+)
+from repro.engine.planner import (
+    PlanExplanation,
+    plan_join,
+    plan_range,
+    plan_select,
+    plan_select_batch,
+)
 from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.stats import StatisticsManager
 from repro.engine.table import SpatialTable
@@ -56,6 +66,92 @@ class SpatialEngine:
         """Plan and run the query; returns results plus the explanation."""
         operator, explanation = self._plan(query)
         return operator.execute(), explanation
+
+    # ------------------------------------------------------------------
+    # Batched serving: plan and run many queries with amortized work
+    # ------------------------------------------------------------------
+    def explain_batch(self, queries: list[Query]) -> list[PlanExplanation]:
+        """Cost a whole batch of queries without executing.
+
+        Per-query output matches a loop of :meth:`explain` calls exactly,
+        but k-NN selects are planned through
+        :func:`~repro.engine.planner.plan_select_batch`: one estimator
+        resolution, snapshot access, and batched ``estimate_batch`` call
+        per table instead of per query.
+        """
+        return [explanation for __, explanation in self._plan_batch(queries)]
+
+    def execute_batch(
+        self, queries: list[Query]
+    ) -> list[tuple[ExecutionResult, PlanExplanation]]:
+        """Plan and run a whole batch; returns per-query (result, plan).
+
+        Results are exactly equal — same ``row_ids`` in the same order,
+        same ``blocks_scanned`` — to a loop of :meth:`execute` calls.
+        Beyond the batched planning of :meth:`explain_batch`, groups of
+        predicate-free, region-free incremental k-NN selects against the
+        same table run through
+        :func:`~repro.engine.physical.execute_incremental_knn_batch`,
+        which shares one MINDIST tableau and one per-block row gather
+        across the group instead of heap-browsing per query.
+
+        Guard failures raise before anything executes (a scalar loop
+        raises the same exception, after executing the earlier queries).
+        """
+        plans = self._plan_batch(queries)
+        results: list[ExecutionResult | None] = [None] * len(plans)
+        grouped: dict[str, list[int]] = {}
+        for i, (operator, __) in enumerate(plans):
+            query = queries[i]
+            if (
+                isinstance(operator, IncrementalKnnOperator)
+                and isinstance(query, KnnSelectQuery)
+                and query.predicate is None
+                and query.region is None
+            ):
+                grouped.setdefault(query.table, []).append(i)
+            else:
+                results[i] = operator.execute()
+        for name, indices in grouped.items():
+            table = self.stats.table(name)
+            # Execution reads the live index; re-gather on staleness even
+            # under the "raise" policy (the scalar browser never raises).
+            snapshot = self.stats.snapshot(name, on_stale="rebuild")
+            outs = execute_incremental_knn_batch(
+                table, [queries[i] for i in indices], snapshot
+            )
+            for i, out in zip(indices, outs):
+                results[i] = out
+        return [
+            (result, explanation)
+            for result, (__, explanation) in zip(results, plans)
+        ]
+
+    def _plan_batch(self, queries: list[Query]):
+        """Guard and plan a batch; k-NN selects go through the batch planner."""
+        notes = [self._guard(query) for query in queries]
+        plans: list[tuple[object, PlanExplanation] | None] = [None] * len(queries)
+        select_indices = [
+            i for i, query in enumerate(queries) if isinstance(query, KnnSelectQuery)
+        ]
+        if select_indices:
+            batched = plan_select_batch(
+                self.stats, [queries[i] for i in select_indices]
+            )
+            for i, plan in zip(select_indices, batched):
+                plans[i] = plan
+        for i, query in enumerate(queries):
+            if plans[i] is not None:
+                continue
+            if isinstance(query, KnnJoinQuery):
+                plans[i] = plan_join(self.stats, query)
+            elif isinstance(query, RangeQuery):
+                plans[i] = plan_range(self.stats, query)
+            else:
+                raise TypeError(f"unsupported query type {type(query).__name__}")
+        for i, (__, explanation) in enumerate(plans):
+            explanation.notes.extend(notes[i])
+        return plans
 
     def _plan(self, query: Query):
         notes = self._guard(query)

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.table import SpatialTable
-from repro.geometry import Point, mindist_point_rect
+from repro.geometry import Point, Rect, mindist_point_rect, mindist_points_rects
 from repro.knn.locality import locality_block_indices
 
 
@@ -138,6 +138,99 @@ class IncrementalKnnOperator:
             browser.blocks_scanned,
             row_ids=np.array(found, dtype=np.int64),
         )
+
+
+def execute_incremental_knn_batch(
+    table: SpatialTable, queries: list[KnnSelectQuery], snapshot
+) -> list[ExecutionResult]:
+    """Execute unfiltered incremental k-NN selects as one vectorized pass.
+
+    Query by query this produces *exactly* what
+    ``IncrementalKnnOperator(table, q).execute()`` produces — the same
+    ``row_ids`` in the same order and the same ``blocks_scanned`` — but
+    the per-query heap browsing is replaced by batch work shared across
+    the group: one ``(m, n)`` MINDIST tableau over the snapshot's leaf
+    rects, one row-id/point gather per block, and a per-query prefix
+    drain over the MINDIST-sorted blocks.
+
+    Equivalence rests on two properties of the heap browser: leaf blocks
+    are scanned in MINDIST order (a child's MINDIST is never below its
+    parent's, so heap pops are monotone), and a block is scanned iff
+    fewer than ``k`` already-gathered rows lie *strictly* closer than
+    its MINDIST (the browser's ``tuples[0][0] < blocks[0][0]`` test).
+    Emitted rows are then the ``k`` smallest distances in (distance,
+    scan order) — a stable argsort over the drained prefix.  Stop
+    thresholds are recomputed with the scalar
+    :func:`~repro.geometry.mindist_point_rect` so they carry exactly the
+    floats the browser compares against.
+
+    Only applicable to predicate-free, region-free queries (on-the-fly
+    filtering re-introduces per-row control flow); the engine routes
+    everything else through the scalar operator.
+
+    Args:
+        table: The (shared) relation every query targets.
+        queries: The group's queries, in serving order.
+        snapshot: The table's current
+            :class:`~repro.index.snapshot.IndexSnapshot` (its rects are
+            the browser's leaf node rects).
+    """
+    name = IncrementalKnnOperator.name
+    n = snapshot.n_blocks
+    if n == 0:
+        return [
+            ExecutionResult(name, 0, row_ids=np.empty(0, dtype=np.int64))
+            for __ in queries
+        ]
+    pts = np.array([[q.query.x, q.query.y] for q in queries], dtype=float)
+    tableau = mindist_points_rects(pts, snapshot.rects)
+    order = np.argsort(tableau, axis=1, kind="stable")
+    counts = snapshot.counts
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    all_rows = np.concatenate(
+        [table.block_row_ids(int(b)) for b in snapshot.block_ids]
+    )
+    all_pts = table.points[all_rows]
+    rect_cache: dict[int, Rect] = {}
+    results: list[ExecutionResult] = []
+    for i, query in enumerate(queries):
+        k = query.k
+        qx, qy = query.query.x, query.query.y
+        sel = order[i]
+        cum = np.cumsum(counts[sel])
+        # The browser cannot stop before the prefix holds k rows.
+        j = min(int(np.searchsorted(cum, k, side="left")) + 1, n)
+        row_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        for b in sel[:j]:
+            s, e = starts[b], starts[b + 1]
+            row_parts.append(all_rows[s:e])
+            dist_parts.append(
+                np.hypot(all_pts[s:e, 0] - qx, all_pts[s:e, 1] - qy)
+            )
+        while j < n:
+            b_next = int(sel[j])
+            rect = rect_cache.get(b_next)
+            if rect is None:
+                rect = rect_cache[b_next] = Rect(*snapshot.rects[b_next])
+            threshold = mindist_point_rect(query.query, rect)
+            below = sum(
+                int(np.count_nonzero(part < threshold)) for part in dist_parts
+            )
+            if below >= k:
+                break
+            s, e = starts[b_next], starts[b_next + 1]
+            row_parts.append(all_rows[s:e])
+            dist_parts.append(
+                np.hypot(all_pts[s:e, 0] - qx, all_pts[s:e, 1] - qy)
+            )
+            j += 1
+        rows = np.concatenate(row_parts)
+        dists = np.concatenate(dist_parts)
+        take = np.argsort(dists, kind="stable")[:k]
+        results.append(ExecutionResult(name, j, row_ids=rows[take]))
+    return results
 
 
 class RegionPrunedKnnOperator:

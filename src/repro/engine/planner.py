@@ -61,6 +61,10 @@ class PlanExplanation:
             costing estimator (:meth:`repro.perf.PreprocessingStats.as_dict`
             — worker count, anchor dedup counters, per-phase seconds);
             empty when the estimator exposes none.
+        cache_hit: Whether the select-cost estimate came from the
+            statistics manager's estimate cache — ``None`` when the
+            cache is disabled (the default) or the plan needed no
+            select estimate.
     """
 
     chosen: str
@@ -71,6 +75,7 @@ class PlanExplanation:
     degraded: bool = False
     notes: list[str] = field(default_factory=list)
     preprocessing: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool | None = None
 
     def cost_of(self, operator: str) -> float:
         """Estimated cost of one alternative.
@@ -88,6 +93,8 @@ class PlanExplanation:
         if self.estimator_tier:
             status = "degraded" if self.degraded else "primary"
             lines.append(f"  estimator: {self.estimator_tier} ({status})")
+        if self.cache_hit is not None:
+            lines.append(f"  estimate cache: {'hit' if self.cache_hit else 'miss'}")
         if self.preprocessing:
             wall = self.preprocessing.get("wall_seconds", 0.0)
             deduped = int(self.preprocessing.get("anchors_deduped", 0))
@@ -150,10 +157,39 @@ def plan_select(
 
     cost_filter = float(table.index.num_blocks)
     estimator = stats.select_estimator_for_planning(query.table)
-    cost_incremental = estimator.estimate(query.query, effective_k)
+    cost_incremental, cache_hit = stats.estimate_select_cost(
+        query.table, estimator, query.query, effective_k
+    )
     # Browsing can never scan more than every block once.
     cost_incremental = min(cost_incremental, cost_filter)
 
+    explanation = _assemble_select_explanation(
+        stats, table, query, sigma, effective_k, cost_filter, cost_incremental
+    )
+    explanation.cache_hit = cache_hit
+    if cache_hit:
+        # The estimator never ran; label the answer's real source.
+        explanation.estimator_tier = "estimate-cache"
+    else:
+        _record_provenance(explanation, estimator)
+        _record_preprocessing(explanation, estimator)
+    return _select_operator_for(explanation.chosen, table, query), explanation
+
+
+def _assemble_select_explanation(
+    stats: StatisticsManager,
+    table,
+    query: KnnSelectQuery,
+    sigma: float,
+    effective_k: int,
+    cost_filter: float,
+    cost_incremental: float,
+) -> PlanExplanation:
+    """Build the alternatives table and arbitrate the select plan.
+
+    The shared tail of :func:`plan_select` and
+    :func:`plan_select_batch`: everything after the estimate is in hand.
+    """
     alternatives: dict[str, float] = {
         FilterThenKnnOperator.name: cost_filter,
         IncrementalKnnOperator.name: cost_incremental,
@@ -164,15 +200,12 @@ def plan_select(
         alternatives[RegionPrunedKnnOperator.name] = min(
             cost_incremental, region_blocks
         )
-
     explanation = PlanExplanation(
         chosen="",
         alternatives=alternatives,
         effective_k=effective_k,
         selectivity=sigma,
     )
-    _record_provenance(explanation, estimator)
-    _record_preprocessing(explanation, estimator)
     # Ties resolve toward the earlier entry; the full scan's sequential
     # pattern beats random-access browsing at equal block counts, and
     # the pruned browser dominates the plain one whenever applicable.
@@ -180,13 +213,109 @@ def plan_select(
     if RegionPrunedKnnOperator.name in alternatives:
         order.append(RegionPrunedKnnOperator.name)  # dominates plain browsing
     order.append(IncrementalKnnOperator.name)
-    chosen = min(order, key=lambda name: (alternatives[name], order.index(name)))
-    explanation.chosen = chosen
+    explanation.chosen = min(
+        order, key=lambda name: (alternatives[name], order.index(name))
+    )
+    return explanation
+
+
+def _select_operator_for(chosen: str, table, query: KnnSelectQuery):
+    """Instantiate the physical operator the arbitration picked."""
     if chosen == RegionPrunedKnnOperator.name:
-        return RegionPrunedKnnOperator(table, query), explanation
+        return RegionPrunedKnnOperator(table, query)
     if chosen == IncrementalKnnOperator.name:
-        return IncrementalKnnOperator(table, query), explanation
-    return FilterThenKnnOperator(table, query), explanation
+        return IncrementalKnnOperator(table, query)
+    return FilterThenKnnOperator(table, query)
+
+
+def plan_select_batch(
+    stats: StatisticsManager, queries: list[KnnSelectQuery]
+) -> list[tuple[object, PlanExplanation]]:
+    """Plan a whole batch of k-NN selects with amortized statistics work.
+
+    Per-query output is exactly what :func:`plan_select` produces — the
+    same operator choice, alternatives, selectivities and provenance —
+    but the expensive per-call steps are paid once per *table*: one
+    estimator resolution, one snapshot access, and one batched
+    ``estimate_batch`` call covering every query against that table
+    (routed through the estimate cache when enabled).
+
+    Args:
+        stats: The statistics manager.
+        queries: The batch, in serving order (any mix of tables).
+
+    Returns:
+        ``(operator, explanation)`` pairs aligned with ``queries``.
+    """
+    plans: list[tuple[object, PlanExplanation] | None] = [None] * len(queries)
+    by_table: dict[str, list[int]] = {}
+    for i, query in enumerate(queries):
+        by_table.setdefault(query.table, []).append(i)
+    for name, indices in by_table.items():
+        table = stats.table(name)
+        if table.n_rows == 0:
+            for i in indices:
+                query = queries[i]
+                explanation = PlanExplanation(
+                    chosen=FilterThenKnnOperator.name,
+                    alternatives={FilterThenKnnOperator.name: 0.0},
+                    effective_k=query.k,
+                    selectivity=1.0,
+                )
+                plans[i] = (FilterThenKnnOperator(table, query), explanation)
+            continue
+        sigmas = np.empty(len(indices), dtype=float)
+        effective_ks = np.empty(len(indices), dtype=np.int64)
+        for j, i in enumerate(indices):
+            query = queries[i]
+            sigma = stats.predicate_selectivity(name, query.predicate)
+            sigma *= stats.region_selectivity(name, query.region)
+            sigma = min(max(sigma, 1.0 / max(table.n_rows, 1)), 1.0)
+            sigmas[j] = sigma
+            effective_ks[j] = int(math.ceil(query.k / sigma))
+        pts = np.array(
+            [[queries[i].query.x, queries[i].query.y] for i in indices], dtype=float
+        )
+        cost_filter = float(table.index.num_blocks)
+        estimator = stats.select_estimator_for_planning(name)
+        costs, hits, outcomes = stats.estimate_select_costs_batch(
+            name, estimator, pts, effective_ks
+        )
+        preprocessing: dict[str, float] = {}
+        prep_stats = getattr(estimator, "preprocessing_stats", None)
+        if prep_stats is not None:
+            preprocessing = prep_stats.as_dict()
+        for j, i in enumerate(indices):
+            query = queries[i]
+            cost_incremental = min(float(costs[j]), cost_filter)
+            explanation = _assemble_select_explanation(
+                stats,
+                table,
+                query,
+                float(sigmas[j]),
+                int(effective_ks[j]),
+                cost_filter,
+                cost_incremental,
+            )
+            if hits is not None:
+                explanation.cache_hit = bool(hits[j])
+            if hits is not None and hits[j]:
+                explanation.estimator_tier = "estimate-cache"
+            else:
+                outcome = outcomes[j]
+                if outcome is not None:
+                    # Shared provenance: per-query tier labels backed by
+                    # the one batch-call attempt record.
+                    explanation.estimator_tier = outcome.tier
+                    explanation.degraded = outcome.degraded
+                    if outcome.degraded:
+                        explanation.notes.append(outcome.describe())
+                explanation.preprocessing.update(preprocessing)
+            plans[i] = (
+                _select_operator_for(explanation.chosen, table, query),
+                explanation,
+            )
+    return plans  # type: ignore[return-value]
 
 
 def plan_range(

@@ -31,7 +31,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Literal
 
+import numpy as np
+
 from repro.catalog import CatalogStore
+from repro.engine.cache import DEFAULT_CACHE_CELLS, EstimateCache
 from repro.engine.expressions import Predicate
 from repro.engine.table import SpatialTable
 from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
@@ -66,6 +69,12 @@ class _ManagedSelectTier(SelectCostEstimator):
     def estimate(self, query: Point, k: int) -> float:
         return self._get().estimate(query, k)
 
+    def estimate_batch(self, queries, ks):
+        # Delegate so the batch stays on the resolved estimator's
+        # vectorized path (the ABC default would fall back to a scalar
+        # loop through this proxy).
+        return self._get().estimate_batch(queries, ks)
+
     def storage_bytes(self) -> int:
         # The underlying estimator is owned (and its storage counted)
         # by the manager, not by the chain.
@@ -73,8 +82,18 @@ class _ManagedSelectTier(SelectCostEstimator):
 
     @property
     def preprocessing_stats(self):
-        """The managed estimator's build instrumentation."""
-        return getattr(self._get(), "preprocessing_stats", None)
+        """The managed estimator's build instrumentation.
+
+        Resolution can itself fail (stale catalogs under the ``raise``
+        policy, an index the estimator refuses) — the chain has already
+        degraded past this tier by then, so provenance collection must
+        not resurrect the error.
+        """
+        try:
+            estimator = self._get()
+        except Exception:
+            return None
+        return getattr(estimator, "preprocessing_stats", None)
 
 
 class StatisticsManager:
@@ -106,6 +125,13 @@ class StatisticsManager:
         workers: Worker processes for catalog preprocessing fan-out
             (``None``/0/1 builds in-process); threaded through to every
             estimator the manager constructs.
+        estimate_cache_size: Capacity of the generation-keyed LRU
+            estimate cache (:class:`~repro.engine.cache.EstimateCache`).
+            0 (the default) disables caching, keeping every estimate an
+            exact per-query computation; a positive size lets queries
+            sharing a quantized cell and k reuse one estimate.
+        estimate_cache_cells: Per-axis quantization resolution of the
+            estimate-cache key grid.
     """
 
     def __init__(
@@ -122,6 +148,8 @@ class StatisticsManager:
         breaker_cooldown: int = 16,
         estimate_time_budget: float | None = None,
         workers: int | None = None,
+        estimate_cache_size: int = 0,
+        estimate_cache_cells: int = DEFAULT_CACHE_CELLS,
     ) -> None:
         if join_technique not in ("catalog-merge", "virtual-grid"):
             raise ValueError(f"unknown join technique {join_technique!r}")
@@ -148,6 +176,15 @@ class StatisticsManager:
         self._selectivities: dict[tuple[str, str], float] = {}
         self._resilient_selects: dict[str, FallbackSelectEstimator] = {}
         self._resilient_joins: dict[tuple[str, str], FallbackJoinEstimator] = {}
+        if estimate_cache_size < 0:
+            raise ValueError(
+                f"estimate_cache_size must be >= 0, got {estimate_cache_size}"
+            )
+        self.estimate_cache: EstimateCache | None = (
+            EstimateCache(estimate_cache_size, cells=estimate_cache_cells)
+            if estimate_cache_size
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -175,6 +212,8 @@ class StatisticsManager:
             for key, value in self._selectivities.items()
             if key[0] != table.name
         }
+        if self.estimate_cache is not None:
+            self.estimate_cache.invalidate(table.name)
 
     def table(self, name: str) -> SpatialTable:
         """Look up a registered relation.
@@ -391,6 +430,117 @@ class StatisticsManager:
         if self.fallback:
             return self.resilient_select_estimator(name)
         return self.select_estimator(name)
+
+    # ------------------------------------------------------------------
+    # Cache-aware estimation: the planner's select-cost entry points
+    # ------------------------------------------------------------------
+    def estimate_select_cost(
+        self, name: str, estimator: SelectCostEstimator, query: Point, k: int
+    ) -> tuple[float, bool | None]:
+        """Estimate one select cost, consulting the estimate cache.
+
+        Returns:
+            ``(cost, cache_hit)`` — ``cache_hit`` is ``None`` when the
+            cache is disabled, so :class:`PlanExplanation` can tell
+            "no cache" from "cache miss".
+        """
+        cache = self.estimate_cache
+        if cache is None:
+            return estimator.estimate(query, k), None
+        table = self.table(name)
+        generation = int(getattr(table.index, "data_generation", 0))
+        key = cache.key(name, generation, query.x, query.y, k, table.index.bounds)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached, True
+        value = estimator.estimate(query, k)
+        cache.put(key, value)
+        return value, False
+
+    def estimate_select_costs_batch(
+        self,
+        name: str,
+        estimator: SelectCostEstimator,
+        pts: np.ndarray,
+        ks: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None, list]:
+        """Batched :meth:`estimate_select_cost` over one table's queries.
+
+        With the cache disabled this is exactly one
+        ``estimator.estimate_batch`` call.  With it enabled, the probe
+        replays the scalar loop's semantics: a query whose key was
+        already cached — including by an *earlier query of the same
+        batch* — takes that value as a hit, and only first-occurrence
+        misses reach the estimator (as one batched call).
+
+        Returns:
+            ``(costs, hits, outcomes)`` — ``hits`` is ``None`` when the
+            cache is disabled, else a per-query bool mask; ``outcomes``
+            holds one per-query
+            :class:`~repro.resilience.fallback.FallbackOutcome` (or
+            ``None`` for cache hits and raw estimators), so the planner
+            can attach the right provenance to every explanation even
+            when only a sub-batch reached the estimator.
+        """
+        cache = self.estimate_cache
+        if cache is None:
+            costs = np.asarray(estimator.estimate_batch(pts, ks), dtype=float)
+            outcomes = self._batch_outcomes(estimator, list(range(pts.shape[0])), pts.shape[0])
+            return costs, None, outcomes
+        table = self.table(name)
+        generation = int(getattr(table.index, "data_generation", 0))
+        keys = cache.keys_for(name, generation, pts, ks, table.index.bounds)
+        m = pts.shape[0]
+        costs = np.empty(m, dtype=float)
+        hits = np.zeros(m, dtype=bool)
+        outcomes: list = [None] * m
+        first_of_key: dict[object, int] = {}
+        pending: list[int] = []
+        aliases: list[tuple[int, int]] = []  # (query, first occurrence)
+        for i, key in enumerate(keys):
+            if key in first_of_key:
+                # The scalar loop would have cached the first
+                # occurrence's estimate by now; this query hits it.
+                cache.hits += 1
+                hits[i] = True
+                aliases.append((i, first_of_key[key]))
+                continue
+            cached = cache.get(key)
+            if cached is not None:
+                costs[i] = cached
+                hits[i] = True
+                continue
+            first_of_key[key] = i
+            pending.append(i)
+        if pending:
+            idx = np.asarray(pending, dtype=np.int64)
+            values = np.asarray(
+                estimator.estimate_batch(pts[idx], ks[idx]), dtype=float
+            )
+            costs[idx] = values
+            for i, value in zip(pending, values):
+                cache.put(keys[i], float(value))
+            for position, outcome in zip(
+                pending, self._batch_outcomes(estimator, pending, len(pending))
+            ):
+                outcomes[position] = outcome
+        for i, j in aliases:
+            costs[i] = costs[j]
+        return costs, hits, outcomes
+
+    @staticmethod
+    def _batch_outcomes(
+        estimator: SelectCostEstimator, positions: list[int], n: int
+    ) -> list:
+        """Per-query fallback provenance of the last batch call.
+
+        Raw estimators (``fallback=False``) carry no batch outcome and
+        yield ``None`` throughout.
+        """
+        batch_outcome = getattr(estimator, "last_batch_outcome", None)
+        if batch_outcome is None:
+            return [None] * len(positions)
+        return [batch_outcome.outcome_for(j) for j in range(n)]
 
     def join_estimator_for_planning(self, outer: str, inner: str) -> JoinCostEstimator:
         """What the planner costs joins with (chain, or raw if disabled)."""

@@ -11,7 +11,50 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.geometry import Point
+
+
+def normalize_batch_args(queries, ks) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalize ``estimate_batch`` inputs to dense arrays.
+
+    Args:
+        queries: ``(m, 2)`` array-like of query coordinates.
+        ks: ``(m,)`` array-like of per-query k values, or a scalar
+            broadcast to every query.
+
+    Returns:
+        ``(points, ks)`` as a float64 ``(m, 2)`` array and an int64
+        ``(m,)`` array.
+
+    Raises:
+        ValueError: If the lengths disagree.
+        InvalidQueryError: If ``ks`` is not integer-typed (mirrors the
+            scalar path, where ``require_valid_k`` rejects non-integral
+            k values).
+    """
+    pts = np.asarray(queries, dtype=float).reshape(-1, 2)
+    raw_ks = np.asarray(ks)
+    if raw_ks.dtype == np.bool_ or not np.issubdtype(raw_ks.dtype, np.integer):
+        # Deferred import: resilience.fallback subclasses this module's
+        # ABCs, so a module-level import would be circular.
+        from repro.resilience.errors import InvalidQueryError
+
+        raise InvalidQueryError(
+            f"k values must be integers, got dtype {raw_ks.dtype}"
+        )
+    ks_arr = raw_ks.astype(np.int64, copy=False)
+    if ks_arr.ndim == 0:
+        ks_arr = np.full(pts.shape[0], int(ks_arr), dtype=np.int64)
+    else:
+        ks_arr = ks_arr.reshape(-1)
+    if ks_arr.shape[0] != pts.shape[0]:
+        raise ValueError(
+            f"batch length mismatch: {pts.shape[0]} queries vs "
+            f"{ks_arr.shape[0]} k values"
+        )
+    return pts, ks_arr
 
 
 class SelectCostEstimator(abc.ABC):
@@ -31,6 +74,28 @@ class SelectCostEstimator(abc.ABC):
         Returns:
             The estimated block-scan cost (possibly fractional).
         """
+
+    def estimate_batch(self, queries, ks) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a batch of queries.
+
+        The contract is strict equivalence: element ``i`` of the result
+        is exactly ``estimate(Point(*queries[i]), ks[i])`` — same float,
+        same exceptions.  The base implementation is that loop;
+        subclasses override it with vectorized paths that preserve the
+        bit-identity.
+
+        Args:
+            queries: ``(m, 2)`` array-like of query coordinates.
+            ks: ``(m,)`` per-query k values, or a scalar applied to all.
+
+        Returns:
+            ``(m,)`` float64 array of estimated block-scan costs.
+        """
+        pts, ks_arr = normalize_batch_args(queries, ks)
+        out = np.empty(pts.shape[0], dtype=float)
+        for i in range(pts.shape[0]):
+            out[i] = self.estimate(Point(pts[i, 0], pts[i, 1]), int(ks_arr[i]))
+        return out
 
     @abc.abstractmethod
     def storage_bytes(self) -> int:

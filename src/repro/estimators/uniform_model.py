@@ -27,9 +27,16 @@ from __future__ import annotations
 
 import math
 
-from repro.estimators.base import SelectCostEstimator, validate_k
+import numpy as np
+
+from repro.estimators.base import (
+    SelectCostEstimator,
+    normalize_batch_args,
+    validate_k,
+)
 from repro.geometry import Point
 from repro.index.snapshot import as_snapshot
+from repro.resilience.guards import require_valid_ks
 
 
 class UniformModelEstimator(SelectCostEstimator):
@@ -67,6 +74,30 @@ class UniformModelEstimator(SelectCostEstimator):
         reach = d_k + self._mean_diagonal / 2.0
         cost = math.pi * reach * reach / block_area
         return float(min(max(cost, 1.0), self._n_blocks))
+
+    def estimate_batch(self, queries, ks) -> np.ndarray:
+        """Closed-form vectorized :meth:`estimate`.
+
+        The model is location-independent, so the batch collapses to
+        one ufunc chain over the k column.  The operation order mirrors
+        the scalar path exactly (division, ``sqrt``, the Minkowski
+        reach, the clamp) and both ``sqrt`` implementations are
+        correctly rounded, so every element is bit-identical to the
+        scalar call.
+        """
+        pts, ks_arr = normalize_batch_args(queries, ks)
+        require_valid_ks(ks_arr)
+        if pts.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        density = self._n_points / self._total_area
+        if density == 0.0:
+            # The scalar path divides by zero in estimate_dk.
+            raise ZeroDivisionError("float division by zero")
+        d_k = np.sqrt(ks_arr / (math.pi * density))
+        block_area = self._total_area / self._n_blocks
+        reach = d_k + self._mean_diagonal / 2.0
+        cost = math.pi * reach * reach / block_area
+        return np.minimum(np.maximum(cost, 1.0), float(self._n_blocks))
 
     def estimate_dk(self, k: int) -> float:
         """Closed-form D_k under global uniformity."""

@@ -31,6 +31,7 @@ from repro.index.snapshot import (
     IndexSnapshot,
     as_snapshot,
     leaf_id_for_point,
+    leaf_ids_for_points,
     partition_bounds,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "IndexSnapshot",
     "as_snapshot",
     "leaf_id_for_point",
+    "leaf_ids_for_points",
     "partition_bounds",
 ]

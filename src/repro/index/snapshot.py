@@ -201,6 +201,29 @@ class IndexSnapshot:
         """Indices of blocks whose extent intersects ``region``."""
         return np.flatnonzero(rect_overlap_mask(region, self.rects))
 
+    def leaf_ids_for_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized block binning: the containing block row per point.
+
+        Delegates to :func:`leaf_ids_for_points` over the snapshot's own
+        block rects, using the recorded universe (or the rects' hull
+        when the snapshot was built from bare arrays).  Points outside
+        the universe, or inside it but covered by no block, map to
+        ``-1`` rather than raising — batch callers partition misses to a
+        fallback path instead of failing the whole batch.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        bounds = self.bounds
+        if bounds is None:
+            if self.n_blocks == 0:
+                return np.full(pts.shape[0], -1, dtype=np.int64)
+            bounds = (
+                float(self.rects[:, 0].min()),
+                float(self.rects[:, 1].min()),
+                float(self.rects[:, 2].max()),
+                float(self.rects[:, 3].max()),
+            )
+        return leaf_ids_for_points(self.rects, pts[:, 0], pts[:, 1], bounds)
+
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
@@ -302,3 +325,63 @@ def leaf_id_for_point(
     if hits.shape[0] == 0:
         raise ValueError(f"no partition leaf contains ({x}, {y})")
     return int(hits[0])
+
+
+# Queries-per-slab for the batched binning broadcast: bounds the
+# transient (chunk, n_leaves) boolean masks to a few MB regardless of
+# batch size, which keeps the vectorized path cache-friendly.
+_LEAF_BIN_CHUNK = 2048
+
+
+def leaf_ids_for_points(
+    leaf_rects: np.ndarray, xs: np.ndarray, ys: np.ndarray, bounds
+) -> np.ndarray:
+    """Vectorized :func:`leaf_id_for_point` over a batch of points.
+
+    Applies exactly the same containment rule per point — half-open
+    ``[min, max)``, closed at the universe's east/north edges, first
+    matching row wins — but instead of raising for an uncontained point
+    it returns ``-1`` in that slot.  Batch estimators use the ``-1``
+    marker to route out-of-universe queries to their fallback tier while
+    the rest of the batch stays on the fast path.
+
+    Args:
+        leaf_rects: ``(n_leaves, 4)`` array from :func:`partition_bounds`.
+        xs: ``(m,)`` query x coordinates.
+        ys: ``(m,)`` query y coordinates.
+        bounds: The partition universe (anything
+            :func:`~repro.geometry.kernels.as_anchor` accepts as a rect).
+
+    Returns:
+        ``(m,)`` int64 array of containing-leaf row indices, ``-1``
+        where no leaf contains the point.
+    """
+    b = as_anchor(bounds)
+    xs = np.asarray(xs, dtype=float).reshape(-1)
+    ys = np.asarray(ys, dtype=float).reshape(-1)
+    m = xs.shape[0]
+    out = np.full(m, -1, dtype=np.int64)
+    if m == 0 or leaf_rects.shape[0] == 0:
+        return out
+    inside = (xs >= b[0]) & (xs <= b[2]) & (ys >= b[1]) & (ys <= b[3])
+    # Precompute the universe-edge closures once; they are per-leaf.
+    east_closed = leaf_rects[:, 2] >= b[2]
+    north_closed = leaf_rects[:, 3] >= b[3]
+    candidates = np.flatnonzero(inside)
+    for start in range(0, candidates.shape[0], _LEAF_BIN_CHUNK):
+        idx = candidates[start : start + _LEAF_BIN_CHUNK]
+        cx = xs[idx, None]
+        cy = ys[idx, None]
+        in_x = (cx >= leaf_rects[None, :, 0]) & (
+            (cx < leaf_rects[None, :, 2]) | east_closed[None, :]
+        )
+        in_y = (cy >= leaf_rects[None, :, 1]) & (
+            (cy < leaf_rects[None, :, 3]) | north_closed[None, :]
+        )
+        hit = in_x & in_y
+        any_hit = hit.any(axis=1)
+        # argmax picks the first True column — the same "first hit"
+        # tie-break as the scalar flatnonzero()[0].
+        first = hit.argmax(axis=1)
+        out[idx[any_hit]] = first[any_hit]
+    return out

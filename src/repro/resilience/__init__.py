@@ -33,18 +33,21 @@ from repro.resilience.errors import (
     StaleCatalogError,
 )
 from repro.resilience.guards import (
+    guard_estimate_batch,
     guard_estimate_inputs,
     guard_join_query,
     guard_range_query,
     guard_select_query,
     require_finite_coordinates,
     require_valid_k,
+    require_valid_ks,
 )
 
 _LAZY = {
     "FallbackSelectEstimator": "fallback",
     "FallbackJoinEstimator": "fallback",
     "FallbackOutcome": "fallback",
+    "FallbackBatchOutcome": "fallback",
     "TierAttempt": "fallback",
     "GUARANTEED_BOUND_TIER": "fallback",
     "FaultSpec": "faultinject",
@@ -62,9 +65,11 @@ __all__ = [
     "guard_select_query",
     "guard_join_query",
     "guard_range_query",
+    "guard_estimate_batch",
     "guard_estimate_inputs",
     "require_finite_coordinates",
     "require_valid_k",
+    "require_valid_ks",
     *_LAZY,
 ]
 

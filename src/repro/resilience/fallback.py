@@ -38,10 +38,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.estimators.base import JoinCostEstimator, SelectCostEstimator
+import numpy as np
+
+from repro.estimators.base import (
+    JoinCostEstimator,
+    SelectCostEstimator,
+    normalize_batch_args,
+)
 from repro.geometry import Point
 from repro.resilience.errors import BudgetExceededError, EstimationError
-from repro.resilience.guards import guard_estimate_inputs, require_valid_k
+from repro.resilience.guards import guard_estimate_batch, guard_estimate_inputs, require_valid_k
 
 #: Consecutive failures before a tier's circuit breaker opens.
 DEFAULT_BREAKER_THRESHOLD = 3
@@ -84,6 +90,45 @@ class FallbackOutcome:
             f"{a.tier}: {a.outcome}" for a in self.attempts if a.tier != self.tier
         )
         return f"degraded to tier {self.tier!r} ({failed})"
+
+
+@dataclass
+class FallbackBatchOutcome:
+    """Provenance of one fallback-chain :meth:`estimate_batch` call.
+
+    The batch path partitions failures: a tier that errors as a whole
+    moves its entire pending sub-batch to the next tier, while a tier
+    returning per-element garbage (non-finite or negative values) moves
+    *only those elements* down.  The outcome therefore carries one tier
+    label per query rather than a single chain-wide answer.
+
+    Attributes:
+        tiers: Per-query name of the answering tier, in batch order.
+        degraded: Per-query bool — ``True`` where a non-primary tier
+            (or the guaranteed bound) answered.
+        attempts: Chain-order record of what each tried tier did for
+            the batch as a whole.
+    """
+
+    tiers: list[str]
+    degraded: np.ndarray
+    attempts: list[TierAttempt] = field(default_factory=list)
+
+    def outcome_for(self, i: int) -> FallbackOutcome:
+        """Collapse the batch provenance to query ``i``'s scalar view."""
+        return FallbackOutcome(
+            tier=self.tiers[i],
+            degraded=bool(self.degraded[i]),
+            attempts=self.attempts,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable batch provenance."""
+        n = len(self.tiers)
+        degraded = int(np.count_nonzero(self.degraded))
+        if degraded == 0:
+            return f"all {n} queries answered by the primary tier"
+        return f"{degraded} of {n} queries degraded past the primary tier"
 
 
 class _TierHealth:
@@ -149,6 +194,8 @@ class _FallbackChain:
         self._budget = time_budget_seconds
         #: Provenance of the most recent :meth:`estimate` call.
         self.last_outcome: FallbackOutcome | None = None
+        #: Provenance of the most recent batch call (select chains only).
+        self.last_batch_outcome: FallbackBatchOutcome | None = None
 
     # ------------------------------------------------------------------
     # Introspection and the fault-injection seam
@@ -239,6 +286,95 @@ class _FallbackChain:
         )
         return bound
 
+    def _run_batch(
+        self, pts: np.ndarray, ks: np.ndarray, call: Callable[[object, np.ndarray, np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Try each tier on the still-unanswered sub-batch.
+
+        A tier exception (or a blown time budget) moves the *whole*
+        pending sub-batch to the next tier; per-element garbage — a
+        non-finite or negative value — moves only the offending elements
+        down.  Whatever survives every tier is answered by the
+        guaranteed bound, so the batch never raises for
+        estimator-internal failures.
+
+        Health accounting treats one batch call to a tier as one call:
+        a tier records one success when it cleanly answered everything
+        it was given and one failure otherwise, so circuit-breaker
+        thresholds keep their "consecutive calls" meaning under batched
+        serving.
+        """
+        m = pts.shape[0]
+        out = np.empty(m, dtype=float)
+        tiers_used = [GUARANTEED_BOUND_TIER] * m
+        degraded = np.zeros(m, dtype=bool)
+        attempts: list[TierAttempt] = []
+        pending = np.arange(m)
+        for position, (name, __) in enumerate(self._tiers):
+            if pending.shape[0] == 0:
+                break
+            health = self._health[name]
+            if health.circuit_open:
+                health.tick_skip()
+                attempts.append(TierAttempt(name, "skipped (circuit open)"))
+                continue
+            start = time.perf_counter()
+            try:
+                estimator = self.tier_instance(name)
+                values = np.asarray(
+                    call(estimator, pts[pending], ks[pending]), dtype=float
+                ).reshape(-1)
+                if values.shape[0] != pending.shape[0]:
+                    raise EstimationError(
+                        f"tier returned {values.shape[0]} estimates for "
+                        f"{pending.shape[0]} queries"
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(TierAttempt(name, f"{type(exc).__name__}: {exc}"))
+                continue
+            elapsed = time.perf_counter() - start
+            if self._budget is not None and elapsed > self._budget:
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(
+                    TierAttempt(
+                        name,
+                        f"BudgetExceededError: took {elapsed:.3f}s "
+                        f"(budget {self._budget:.3f}s)",
+                    )
+                )
+                continue
+            bad = ~np.isfinite(values) | (values < 0.0)
+            good = ~bad
+            answered = pending[good]
+            out[answered] = values[good]
+            for i in answered:
+                tiers_used[i] = name
+            degraded[answered] = position > 0
+            n_bad = int(np.count_nonzero(bad))
+            if n_bad:
+                health.record_failure(self._threshold, self._cooldown)
+                attempts.append(
+                    TierAttempt(
+                        name,
+                        f"invalid estimate for {n_bad} of "
+                        f"{pending.shape[0]} queries",
+                    )
+                )
+            else:
+                health.record_success()
+                attempts.append(TierAttempt(name, "ok"))
+            pending = pending[bad]
+        if pending.shape[0]:
+            bound = float(self._bound() if callable(self._bound) else self._bound)
+            out[pending] = bound
+            degraded[pending] = True
+            attempts.append(TierAttempt(GUARANTEED_BOUND_TIER, "ok"))
+        self.last_batch_outcome = FallbackBatchOutcome(
+            tiers=tiers_used, degraded=degraded, attempts=attempts
+        )
+        return out
+
     # ------------------------------------------------------------------
     # Shared estimator bookkeeping
     # ------------------------------------------------------------------
@@ -313,6 +449,27 @@ class FallbackSelectEstimator(_FallbackChain, SelectCostEstimator):
         """
         guard_estimate_inputs(query, k)
         return self._run(lambda est: est.estimate(query, k))
+
+    def estimate_batch(self, queries, ks) -> np.ndarray:
+        """Batched estimation with per-sub-batch degradation.
+
+        Unlike a loop of scalar :meth:`estimate` calls — which pays the
+        whole chain walk per query — a tier failure here partitions the
+        batch: the failing elements (or, on a tier-wide exception, the
+        whole pending sub-batch) move to the next tier while everything
+        the tier answered cleanly stays.  Per-query provenance is
+        recorded on :attr:`last_batch_outcome`.
+
+        Raises:
+            InvalidQueryError: On any non-finite focal point or
+                ``k < 1`` — invalid inputs are the caller's bug, not a
+                failure to degrade around.
+        """
+        pts, ks_arr = normalize_batch_args(queries, ks)
+        guard_estimate_batch(pts, ks_arr)
+        return self._run_batch(
+            pts, ks_arr, lambda est, p, k: est.estimate_batch(p, k)
+        )
 
 
 class FallbackJoinEstimator(_FallbackChain, JoinCostEstimator):

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 import numbers
 
+import numpy as np
+
 from repro.geometry import Point, Rect
 from repro.resilience.errors import InvalidQueryError
 
@@ -172,3 +174,42 @@ def guard_estimate_inputs(query: Point, k: int) -> None:
     """
     require_finite_coordinates(query.x, query.y)
     require_valid_k(k)
+
+
+def require_valid_ks(ks: np.ndarray, what: str = "k") -> None:
+    """Vectorized :func:`require_valid_k` over an integer array.
+
+    Raises on the *first* offending element (in array order) with the
+    exact message a scalar loop would produce there.
+
+    Raises:
+        InvalidQueryError: If any ``k < 1``.
+    """
+    ks = np.asarray(ks)
+    bad = ks < 1
+    if bad.any():
+        require_valid_k(int(ks[int(np.argmax(bad))]), what)
+
+
+def guard_estimate_batch(points: np.ndarray, ks: np.ndarray) -> None:
+    """Batch counterpart of :func:`guard_estimate_inputs`.
+
+    Mirrors a loop of scalar guards exactly: the first query (in batch
+    order) with a non-finite coordinate *or* an invalid k raises, and at
+    that query the coordinate check comes before the k check — so the
+    error type and message match the scalar loop bit for bit.
+
+    Args:
+        points: ``(m, 2)`` float array of focal coordinates.
+        ks: ``(m,)`` integer array of per-query k values.
+
+    Raises:
+        InvalidQueryError: On any non-finite focal point or ``k < 1``.
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    ks = np.asarray(ks)
+    bad = ~np.isfinite(points).all(axis=1) | (ks < 1)
+    if bad.any():
+        i = int(np.argmax(bad))
+        require_finite_coordinates(float(points[i, 0]), float(points[i, 1]))
+        require_valid_k(int(ks[i]))

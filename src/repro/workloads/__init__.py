@@ -1,12 +1,14 @@
 """Query workload generation and evaluation metrics."""
 
 from repro.workloads.queries import (
+    QueryBatch,
     SelectQuery,
     data_distributed_queries,
     uniform_queries,
     random_k_values,
     zipf_k_values,
 )
+from repro.workloads.serving import ServingReport, serve_workload
 from repro.workloads.metrics import (
     error_ratio,
     mean_error_ratio,
@@ -17,7 +19,10 @@ from repro.workloads.metrics import (
 )
 
 __all__ = [
+    "QueryBatch",
     "SelectQuery",
+    "ServingReport",
+    "serve_workload",
     "data_distributed_queries",
     "uniform_queries",
     "random_k_values",

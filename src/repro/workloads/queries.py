@@ -11,6 +11,8 @@ provided as an alternative stress test for sparse regions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -27,6 +29,158 @@ class SelectQuery:
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
+
+
+class QueryBatch:
+    """A k-NN-Select workload held as dense arrays, not ``Point`` objects.
+
+    The serving path (``SpatialEngine.execute_batch``, the replay bench,
+    the CLI ``--batch`` mode) consumes whole workloads at once; holding
+    them as an ``(n, 2)`` coordinate array plus an ``(n,)`` k array keeps
+    generation, persistence, and slicing vectorized, and defers ``Point``
+    materialization to the moment a scalar consumer actually needs one
+    (:meth:`point`, :meth:`__getitem__`, :meth:`iter_queries` — the lazy
+    views).
+
+    Args:
+        points: ``(n, 2)`` focal coordinates (copied to float64).
+        ks: ``(n,)`` neighbor counts (copied to int64).
+
+    Raises:
+        ValueError: On shape mismatch or any ``k < 1``.
+    """
+
+    __slots__ = ("points", "ks")
+
+    def __init__(self, points: np.ndarray, ks: np.ndarray) -> None:
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        ks_arr = np.asarray(ks, dtype=np.int64).reshape(-1)
+        if pts.shape[0] != ks_arr.shape[0]:
+            raise ValueError(
+                f"got {pts.shape[0]} points but {ks_arr.shape[0]} k values"
+            )
+        if ks_arr.size and int(ks_arr.min()) < 1:
+            bad = int(ks_arr[int(np.argmax(ks_arr < 1))])
+            raise ValueError(f"k must be >= 1, got {bad}")
+        self.points = pts
+        self.ks = ks_arr
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def data_distributed(
+        cls,
+        points: np.ndarray,
+        n: int,
+        max_k: int,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "QueryBatch":
+        """Array-native :func:`data_distributed_queries`."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if points.shape[0] == 0:
+            raise ValueError("cannot sample queries from an empty point set")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        picks = rng.integers(0, points.shape[0], size=n)
+        ks = random_k_values(n, max_k, rng)
+        return cls(points[picks], ks)
+
+    @classmethod
+    def uniform(
+        cls,
+        bounds: Rect,
+        n: int,
+        max_k: int,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "QueryBatch":
+        """Array-native :func:`uniform_queries`."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        xs = rng.uniform(bounds.x_min, bounds.x_max, size=n)
+        ys = rng.uniform(bounds.y_min, bounds.y_max, size=n)
+        ks = random_k_values(n, max_k, rng)
+        return cls(np.column_stack([xs, ys]), ks)
+
+    # ------------------------------------------------------------------
+    # Persistence (the CLI --batch file format)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "QueryBatch":
+        """Load a workload from an ``x,y,k`` CSV (header optional).
+
+        Raises:
+            ValueError: On rows without exactly three columns or
+                non-numeric values.
+        """
+        raw = np.genfromtxt(path, delimiter=",", skip_header=_csv_has_header(path))
+        if raw.size == 0:
+            return cls(np.empty((0, 2)), np.empty(0, dtype=np.int64))
+        raw = raw.reshape(-1, raw.shape[-1] if raw.ndim > 1 else raw.shape[0])
+        if raw.shape[1] != 3:
+            raise ValueError(
+                f"query CSV must have x,y,k columns, got {raw.shape[1]} columns"
+            )
+        if not np.all(np.isfinite(raw)):
+            raise ValueError(f"query CSV {path} contains non-numeric values")
+        return cls(raw[:, :2], raw[:, 2].astype(np.int64))
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the workload as an ``x,y,k`` CSV with a header row."""
+        rows = np.column_stack([self.points, self.ks.astype(float)])
+        np.savetxt(path, rows, delimiter=",", header="x,y,k", comments="", fmt="%.17g")
+
+    # ------------------------------------------------------------------
+    # Lazy per-query views
+    # ------------------------------------------------------------------
+    def point(self, i: int) -> Point:
+        """Materialize the ``i``-th focal point (on demand, not stored)."""
+        return Point(float(self.points[i, 0]), float(self.points[i, 1]))
+
+    def __getitem__(self, i: int) -> SelectQuery:
+        return SelectQuery(self.point(i), int(self.ks[i]))
+
+    def __len__(self) -> int:
+        return int(self.ks.shape[0])
+
+    def iter_queries(self) -> Iterator[SelectQuery]:
+        """Yield :class:`SelectQuery` views one at a time."""
+        for i in range(len(self)):
+            yield self[i]
+
+    def as_knn_queries(self, table: str) -> list:
+        """Materialize engine queries against ``table``.
+
+        Returns ``KnnSelectQuery`` objects (imported lazily — the
+        workload layer stays importable without the engine).
+        """
+        from repro.engine.queries import KnnSelectQuery
+
+        return [
+            KnnSelectQuery(table, self.point(i), k=int(self.ks[i]))
+            for i in range(len(self))
+        ]
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        if len(self) == 0:
+            return "0 queries"
+        return (
+            f"{len(self)} queries, k in [{int(self.ks.min())}, "
+            f"{int(self.ks.max())}]"
+        )
+
+
+def _csv_has_header(path: str | Path) -> int:
+    """1 when the file starts with a non-numeric header row, else 0."""
+    with open(path) as handle:
+        first = handle.readline()
+    token = first.split(",")[0].strip()
+    try:
+        float(token)
+    except ValueError:
+        return 1
+    return 0
 
 
 def random_k_values(

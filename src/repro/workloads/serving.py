@@ -1,0 +1,122 @@
+"""The batched serving driver: replay a workload, measure throughput.
+
+One function, :func:`serve_workload`, runs a :class:`~repro.workloads.queries.QueryBatch`
+against a :class:`~repro.engine.SpatialEngine` in either serving mode —
+``"batch"`` (one :meth:`~repro.engine.SpatialEngine.execute_batch` call)
+or ``"scalar"`` (a per-query :meth:`~repro.engine.SpatialEngine.execute`
+loop) — and returns a :class:`ServingReport` with wall-clock throughput
+and the estimate cache's hit/miss movement.  The CLI ``--batch`` mode
+and ``benchmarks/bench_serving_throughput.py`` are thin wrappers over
+it, so both measure exactly the same code path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.workloads.queries import QueryBatch
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of replaying one workload through the engine.
+
+    Attributes:
+        mode: ``"batch"`` or ``"scalar"``.
+        n_queries: Workload size.
+        seconds: Wall-clock time of the replay (planning + execution).
+        results: Per-query :class:`~repro.engine.ExecutionResult`, in
+            workload order.
+        explanations: Per-query :class:`~repro.engine.PlanExplanation`.
+        cache_hits: Estimate-cache hits this replay added (``None`` when
+            the engine's cache is disabled).
+        cache_misses: Estimate-cache misses this replay added.
+    """
+
+    mode: str
+    n_queries: int
+    seconds: float
+    results: list
+    explanations: list
+    cache_hits: int | None
+    cache_misses: int | None
+
+    @property
+    def queries_per_second(self) -> float:
+        """Serving throughput (0.0 for an empty or instantaneous run)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.seconds
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean per-query latency in microseconds."""
+        if self.n_queries == 0:
+            return 0.0
+        return self.seconds / self.n_queries * 1e6
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """This replay's hit fraction (``None`` with the cache disabled)."""
+        if self.cache_hits is None or self.cache_misses is None:
+            return None
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def describe(self) -> str:
+        """Multi-line summary for the CLI."""
+        lines = [
+            f"mode:        {self.mode}",
+            f"queries:     {self.n_queries}",
+            f"elapsed:     {self.seconds:.3f} s",
+            f"throughput:  {self.queries_per_second:,.0f} queries/s",
+            f"latency:     {self.mean_latency_us:.1f} us/query (mean)",
+        ]
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append(
+                f"cache:       {self.cache_hits} hits / "
+                f"{self.cache_misses} misses (hit rate {rate:.1%})"
+            )
+        return "\n".join(lines)
+
+
+def serve_workload(
+    engine, table: str, batch: QueryBatch, mode: str = "batch"
+) -> ServingReport:
+    """Replay a workload against one table and time it.
+
+    Args:
+        engine: A :class:`~repro.engine.SpatialEngine` with ``table``
+            registered.
+        table: Target relation name.
+        batch: The workload.
+        mode: ``"batch"`` (vectorized ``execute_batch``) or ``"scalar"``
+            (a per-query ``execute`` loop — the baseline the bench
+            compares against).
+
+    Raises:
+        ValueError: On an unknown mode.
+    """
+    if mode not in ("batch", "scalar"):
+        raise ValueError(f"mode must be 'batch' or 'scalar', got {mode!r}")
+    queries = batch.as_knn_queries(table)
+    cache = getattr(engine.stats, "estimate_cache", None)
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    start = time.perf_counter()
+    if mode == "batch":
+        pairs = engine.execute_batch(queries)
+    else:
+        pairs = [engine.execute(query) for query in queries]
+    seconds = time.perf_counter() - start
+    return ServingReport(
+        mode=mode,
+        n_queries=len(queries),
+        seconds=seconds,
+        results=[result for result, __ in pairs],
+        explanations=[explanation for __, explanation in pairs],
+        cache_hits=cache.hits - hits_before if cache is not None else None,
+        cache_misses=cache.misses - misses_before if cache is not None else None,
+    )

@@ -127,6 +127,55 @@ class TestLookup:
             assert dense[k - 1] == cat.lookup(k)
 
 
+class TestLookupManyScalarEquivalence:
+    """Property: ``lookup_many`` IS a vectorized ``lookup`` loop.
+
+    Exact equivalence across random catalogs and random k arrays — same
+    floats for valid inputs, and for invalid ones the same error type
+    and message the scalar loop raises at its first offending position.
+    """
+
+    @given(catalogs(), st.data())
+    def test_valid_ks_match_scalar_loop(self, cat, data):
+        ks = data.draw(
+            st.lists(st.integers(1, cat.max_k), min_size=0, max_size=50)
+        )
+        got = cat.lookup_many(np.asarray(ks, dtype=np.int64))
+        assert got.dtype == np.dtype(float)
+        assert np.array_equal(got, [cat.lookup(k) for k in ks])
+
+    @given(catalogs())
+    def test_empty_ks(self, cat):
+        out = cat.lookup_many([])
+        assert out.shape == (0,)
+        assert out.dtype == np.dtype(float)
+
+    @given(catalogs(), st.data())
+    def test_first_offender_parity(self, cat, data):
+        # Mixed valid / k < 1 / k > max_k values: whatever the scalar
+        # loop does first — return everything or raise at position i —
+        # the batch must do identically.
+        ks = data.draw(
+            st.lists(
+                st.integers(-3, cat.max_k + 5), min_size=1, max_size=30
+            )
+        )
+        scalar_error = None
+        scalar_values = []
+        try:
+            for k in ks:
+                scalar_values.append(cat.lookup(k))
+        except (ValueError, CatalogLookupError) as exc:
+            scalar_error = exc
+        if scalar_error is None:
+            assert np.array_equal(cat.lookup_many(ks), scalar_values)
+        else:
+            with pytest.raises(type(scalar_error)) as caught:
+                cat.lookup_many(ks)
+            assert str(caught.value) == str(scalar_error)
+            assert type(caught.value) is type(scalar_error)
+
+
 class TestTransformations:
     def test_scaled(self):
         cat = IntervalCatalog([(1, 5, 2.0), (6, 10, 4.0)]).scaled(2.5)

@@ -157,3 +157,96 @@ class TestResilienceBehavior:
         )
         assert code == 0
         assert "estimate:" in capsys.readouterr().out
+
+
+class TestEstimateSelectBatch:
+    @pytest.fixture(scope="class")
+    def queries_csv(self, tmp_path_factory):
+        from repro.geometry import Rect
+        from repro.workloads import QueryBatch
+
+        path = tmp_path_factory.mktemp("cli_batch") / "queries.csv"
+        batch = QueryBatch.uniform(Rect(0, 0, 100, 100), 80, 16, seed=7)
+        batch.to_csv(path)
+        return str(path)
+
+    def test_batch_mode_reports_throughput(self, points_csv, queries_csv, capsys):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--batch", queries_csv,
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload:" in out and "80 queries" in out
+        assert "mode:" in out and "batch" in out
+        assert "throughput:" in out and "queries/s" in out
+        assert "latency:" in out
+        # Cache disabled by default: no cache line.
+        assert "cache:" not in out
+
+    def test_batch_mode_with_cache_reports_hit_rate(
+        self, points_csv, queries_csv, capsys
+    ):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--batch", queries_csv,
+                "--cache-size", "4096",
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "hit rate" in out
+
+    def test_scalar_args_required_without_batch(self, points_csv, capsys):
+        code = main(["estimate-select", points_csv])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--batch" in err
+
+    def test_missing_queries_csv_exits_2(self, points_csv, tmp_path, capsys):
+        code = main(
+            ["estimate-select", points_csv, "--batch", str(tmp_path / "nope.csv")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_queries_csv_exits_2(self, points_csv, tmp_path, capsys):
+        bad = tmp_path / "bad_queries.csv"
+        bad.write_text("x,y\n1.0,2.0\n")
+        code = main(["estimate-select", points_csv, "--batch", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "columns" in err
+
+    def test_strict_escalates_suspicious_queries(
+        self, points_csv, tmp_path, capsys
+    ):
+        # k beyond the relation's 3000 rows: a note by default, an
+        # InvalidQueryError (exit 2) under --strict — the same contract
+        # as the scalar command.
+        far = tmp_path / "big_k.csv"
+        far.write_text("x,y,k\n50.0,50.0,5000\n")
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--batch", str(far),
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--batch", str(far),
+                "--max-k", "64", "--capacity", "64", "--strict",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -6,6 +6,7 @@ import pytest
 from repro.geometry import Rect
 from repro.workloads import (
     ErrorSummary,
+    QueryBatch,
     SelectQuery,
     data_distributed_queries,
     error_ratio,
@@ -13,6 +14,7 @@ from repro.workloads import (
     random_k_values,
     summarize_errors,
     time_callable,
+    serve_workload,
     uniform_queries,
     zipf_k_values,
 )
@@ -120,3 +122,173 @@ class TestTiming:
     def test_rejects_zero_repeats(self):
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
+
+
+class TestQueryBatch:
+    def test_construction_normalizes_dtypes(self):
+        batch = QueryBatch([[1, 2], [3, 4]], [5, 6])
+        assert batch.points.dtype == np.dtype(np.float64)
+        assert batch.points.shape == (2, 2)
+        assert batch.ks.dtype == np.dtype(np.int64)
+        assert len(batch) == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryBatch(np.zeros((3, 2)), np.array([1, 2]))
+
+    def test_rejects_first_invalid_k(self):
+        with pytest.raises(ValueError, match="got 0"):
+            QueryBatch(np.zeros((3, 2)), np.array([1, 0, -2]))
+
+    def test_empty_batch(self):
+        batch = QueryBatch(np.empty((0, 2)), np.empty(0, dtype=np.int64))
+        assert len(batch) == 0
+        assert batch.describe() == "0 queries"
+        assert list(batch.iter_queries()) == []
+
+    def test_lazy_views(self):
+        batch = QueryBatch([[1.5, 2.5], [3.0, 4.0]], [7, 9])
+        assert batch.point(0) == Point(1.5, 2.5)
+        query = batch[1]
+        assert isinstance(query, SelectQuery)
+        assert query.query == Point(3.0, 4.0)
+        assert query.k == 9
+        assert [q.k for q in batch.iter_queries()] == [7, 9]
+
+    def test_data_distributed_samples_data_points(self):
+        data = np.random.default_rng(0).uniform(0, 100, size=(500, 2))
+        batch = QueryBatch.data_distributed(data, 50, 16, seed=1)
+        assert len(batch) == 50
+        assert batch.ks.min() >= 1 and batch.ks.max() <= 16
+        rows = {tuple(row) for row in data}
+        assert all(tuple(p) in rows for p in batch.points)
+
+    def test_data_distributed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QueryBatch.data_distributed(np.empty((0, 2)), 10, 5)
+
+    def test_uniform_stays_in_bounds(self):
+        bounds = Rect(10.0, 20.0, 30.0, 40.0)
+        batch = QueryBatch.uniform(bounds, 200, 8, seed=2)
+        assert len(batch) == 200
+        assert batch.points[:, 0].min() >= 10.0
+        assert batch.points[:, 0].max() <= 30.0
+        assert batch.points[:, 1].min() >= 20.0
+        assert batch.points[:, 1].max() <= 40.0
+
+    def test_csv_roundtrip_is_exact(self, tmp_path):
+        original = QueryBatch.uniform(Rect(0, 0, 1, 1), 40, 12, seed=3)
+        path = tmp_path / "queries.csv"
+        original.to_csv(path)
+        loaded = QueryBatch.from_csv(path)
+        np.testing.assert_array_equal(original.points, loaded.points)
+        np.testing.assert_array_equal(original.ks, loaded.ks)
+
+    def test_from_csv_without_header(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("1.0,2.0,3\n4.0,5.0,6\n")
+        batch = QueryBatch.from_csv(path)
+        assert len(batch) == 2
+        np.testing.assert_array_equal(batch.ks, [3, 6])
+
+    def test_from_csv_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("x,y,k\n1.0,2.0,3\n")
+        batch = QueryBatch.from_csv(path)
+        assert len(batch) == 1
+        assert batch[0].k == 3
+
+    def test_from_csv_rejects_wrong_columns(self, tmp_path):
+        path = tmp_path / "two_cols.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        with pytest.raises(ValueError, match="columns"):
+            QueryBatch.from_csv(path)
+
+    def test_from_csv_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,k\n1.0,oops,3\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            QueryBatch.from_csv(path)
+
+    def test_as_knn_queries(self):
+        batch = QueryBatch([[1.0, 2.0]], [4])
+        queries = batch.as_knn_queries("pts")
+        assert len(queries) == 1
+        assert queries[0].table == "pts"
+        assert queries[0].query == Point(1.0, 2.0)
+        assert queries[0].k == 4
+
+    def test_describe(self):
+        batch = QueryBatch([[0, 0], [1, 1]], [3, 11])
+        assert batch.describe() == "2 queries, k in [3, 11]"
+
+
+class TestServeWorkload:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+
+        points = np.random.default_rng(4).uniform(0, 100, size=(2_000, 2))
+        engine = SpatialEngine(
+            StatisticsManager(max_k=32, estimate_cache_size=1_024)
+        )
+        engine.register(SpatialTable("pts", points, capacity=64))
+        return engine
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return QueryBatch.uniform(Rect(0, 0, 100, 100), 60, 16, seed=5)
+
+    def test_batch_and_scalar_modes_agree(self, engine, batch):
+        batch_report = serve_workload(engine, "pts", batch, mode="batch")
+        scalar_report = serve_workload(engine, "pts", batch, mode="scalar")
+        assert batch_report.mode == "batch"
+        assert scalar_report.mode == "scalar"
+        assert batch_report.n_queries == scalar_report.n_queries == len(batch)
+        for b, s in zip(batch_report.results, scalar_report.results):
+            assert b.operator == s.operator
+            assert b.blocks_scanned == s.blocks_scanned
+            np.testing.assert_array_equal(b.row_ids, s.row_ids)
+
+    def test_report_metrics_and_describe(self, engine, batch):
+        report = serve_workload(engine, "pts", batch)
+        assert report.seconds > 0
+        assert report.queries_per_second > 0
+        assert report.mean_latency_us > 0
+        assert len(report.explanations) == len(batch)
+        assert report.cache_hits is not None
+        assert report.cache_misses is not None
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        text = report.describe()
+        for field in ("mode:", "queries:", "throughput:", "latency:", "cache:"):
+            assert field in text
+
+    def test_replay_hits_cache(self, engine, batch):
+        serve_workload(engine, "pts", batch)
+        replay = serve_workload(engine, "pts", batch)
+        assert replay.cache_hits == len(batch)
+        assert replay.cache_misses == 0
+        assert replay.cache_hit_rate == 1.0
+
+    def test_cacheless_engine_reports_none(self, batch):
+        from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+
+        points = np.random.default_rng(6).uniform(0, 100, size=(500, 2))
+        engine = SpatialEngine(StatisticsManager(max_k=32))
+        engine.register(SpatialTable("pts", points, capacity=64))
+        report = serve_workload(engine, "pts", batch)
+        assert report.cache_hits is None
+        assert report.cache_misses is None
+        assert report.cache_hit_rate is None
+        assert "cache:" not in report.describe()
+
+    def test_rejects_unknown_mode(self, engine, batch):
+        with pytest.raises(ValueError, match="mode"):
+            serve_workload(engine, "pts", batch, mode="turbo")
+
+    def test_empty_workload(self, engine):
+        empty = QueryBatch(np.empty((0, 2)), np.empty(0, dtype=np.int64))
+        report = serve_workload(engine, "pts", empty)
+        assert report.n_queries == 0
+        assert report.queries_per_second == 0.0
+        assert report.mean_latency_us == 0.0
