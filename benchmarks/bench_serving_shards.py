@@ -1,0 +1,128 @@
+"""Sharded-serving bench: throughput and tail latency under faults.
+
+Two measurements over a mixed (data-distributed + uniform) k-NN-Select
+workload:
+
+* healthy-path throughput of a warm 4-shard tier, with p50/p95/p99
+  per-query latency recorded in ``extra_info``;
+* the robustness acceptance run — a fault plan kills one of the four
+  shard workers mid-workload, and the run must still complete with
+  **zero query failures**, at least 75% non-degraded answers, and every
+  non-degraded answer bit-identical to the unsharded engine's.
+
+The default profile serves 10k queries; ``REPRO_BENCH_PROFILE=quick``
+shrinks the workload (CI's chaos-smoke job runs quick).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+from repro.experiments.common import dataset
+from repro.resilience import WorkerFaultPlan, WorkerFaultSpec
+from repro.serving import ShardedServingTier, SupervisionPolicy
+from repro.workloads import QueryBatch
+
+N_SHARDS = 4
+CHUNK_SIZE = 256
+
+
+def _workload(cfg):
+    """(points, batch, reference pairs) for the profile's scale."""
+    n_queries = 10_000 if cfg.base_n >= 20_000 else 1_000
+    points = dataset(cfg.scales[0], cfg.base_n, cfg.seed, cfg.dataset_kind)
+    rng = np.random.default_rng(cfg.seed)
+    # Mixed workload: half the focal points follow the data (the LBS
+    # pattern), half are uniform over the hull (stresses sparse shards).
+    n_data = n_queries // 2
+    focal = np.vstack(
+        [
+            points[rng.integers(0, points.shape[0], size=n_data)],
+            np.column_stack(
+                [
+                    rng.uniform(points[:, 0].min(), points[:, 0].max(), n_queries - n_data),
+                    rng.uniform(points[:, 1].min(), points[:, 1].max(), n_queries - n_data),
+                ]
+            ),
+        ]
+    )
+    ks = rng.integers(1, cfg.max_k // 2 + 1, size=n_queries)
+    batch = QueryBatch(points=focal, ks=ks)
+    engine = SpatialEngine(StatisticsManager(max_k=cfg.max_k))
+    engine.register(SpatialTable("t", points, capacity=cfg.capacity))
+    reference = engine.execute_batch(batch.as_knn_queries("t"))
+    return points, batch, reference
+
+
+def _assert_identical(report, reference):
+    for i, (ref_result, ref_explanation) in enumerate(reference):
+        if report.degraded[i]:
+            continue
+        result = report.results[i]
+        assert np.array_equal(result.row_ids, ref_result.row_ids), i
+        assert result.blocks_scanned == ref_result.blocks_scanned, i
+        assert report.explanations[i].chosen == ref_explanation.chosen, i
+
+
+def _record(benchmark, report):
+    benchmark.extra_info["queries"] = report.n_queries
+    benchmark.extra_info["queries_per_second"] = round(report.queries_per_second, 1)
+    benchmark.extra_info["p50_latency_us"] = round(report.p50_latency_us, 1)
+    benchmark.extra_info["p95_latency_us"] = round(report.p95_latency_us, 1)
+    benchmark.extra_info["p99_latency_us"] = round(report.p99_latency_us, 1)
+    benchmark.extra_info["degraded"] = report.n_degraded
+    benchmark.extra_info["respawns"] = sum(s.respawns for s in report.shards)
+
+
+def test_sharded_serving_throughput_healthy(benchmark, bench_config):
+    cfg = bench_config
+    points, batch, reference = _workload(cfg)
+    table = SpatialTable("t", points, capacity=cfg.capacity)
+    with ShardedServingTier(
+        table,
+        n_shards=N_SHARDS,
+        chunk_size=CHUNK_SIZE,
+        manager_kwargs={"max_k": cfg.max_k},
+    ) as tier:
+        tier.serve(batch)  # warm the pools and worker catalogs
+        report = benchmark.pedantic(tier.serve, args=(batch,), rounds=3, iterations=1)
+    assert report.n_degraded == 0
+    _assert_identical(report, reference)
+    _record(benchmark, report)
+
+
+def test_sharded_serving_survives_worker_crash(benchmark, bench_config):
+    """The PR's acceptance run: kill 1 of 4 workers mid-workload."""
+    cfg = bench_config
+    points, batch, reference = _workload(cfg)
+    table = SpatialTable("t", points, capacity=cfg.capacity)
+    chunks_per_shard = max(1, len(batch) // N_SHARDS // CHUNK_SIZE)
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=1, on_batch=chunks_per_shard // 2)
+    )
+
+    def serve_under_fault():
+        with ShardedServingTier(
+            table,
+            n_shards=N_SHARDS,
+            chunk_size=CHUNK_SIZE,
+            manager_kwargs={"max_k": cfg.max_k},
+            policy=SupervisionPolicy(max_retries=2, backoff_base=0.02),
+            worker_faults=faults,
+        ) as tier:
+            return tier.serve(batch)
+
+    # One round: the crash-once fault targets the first incarnation.
+    report = benchmark.pedantic(serve_under_fault, rounds=1, iterations=1)
+    # Zero query failures: every query got an answer.
+    assert all(
+        report.results[i] is not None or report.degraded[i]
+        for i in range(report.n_queries)
+    )
+    assert all(e is not None for e in report.explanations)
+    # At least 75% of answers are exact (the respawned worker recovers).
+    assert report.n_degraded <= 0.25 * report.n_queries
+    # Every exact answer is bit-identical to the unsharded engine.
+    _assert_identical(report, reference)
+    _record(benchmark, report)

@@ -19,6 +19,15 @@ corrupt catalogs) exit with code 2 and a one-line ``error:`` message on
 stderr.  The estimate commands degrade through estimator fallback
 chains by default; ``--strict`` disables the degradation so the
 requested technique's failure surfaces instead.
+
+Serving-tier refusals are distinct from estimation failures: an
+``OverloadError`` (admission control shed the workload) or a
+``ShardExhaustedError`` (every shard for a query failed under
+``--strict``) exits with code **3** — "try again later / with more
+capacity", as opposed to code 2's "this request is broken".  The
+sharded tier is engaged by passing ``--shards N`` to
+``estimate-select --batch`` (with ``--deadline-ms`` bounding the batch
+and ``--workers`` sizing each shard's pool).
 """
 
 from __future__ import annotations
@@ -48,7 +57,12 @@ from repro.estimators import UniformModelEstimator
 from repro.geometry import Point
 from repro.index import IndexSnapshot, Quadtree
 from repro.knn import knn_join_cost, select_cost_exact, select_cost_profile
-from repro.resilience.errors import EstimationError, InvalidQueryError
+from repro.resilience.errors import (
+    EstimationError,
+    InvalidQueryError,
+    OverloadError,
+    ShardExhaustedError,
+)
 from repro.resilience.guards import require_finite_coordinates
 from repro.resilience.fallback import (
     FallbackJoinEstimator,
@@ -173,11 +187,14 @@ def _cmd_estimate_select(args: argparse.Namespace) -> int:
 def _run_select_batch(args: argparse.Namespace) -> int:
     """The ``estimate-select --batch`` serving mode.
 
-    Reads an ``x,y,k`` query CSV, replays it through
-    ``SpatialEngine.execute_batch``, and prints aggregate latency,
-    throughput, and the estimate cache's hit rate.  ``--strict`` keeps
-    its meaning: fallback degradation is disabled and suspicious queries
-    become errors (exit code 2) instead of notes.
+    Reads an ``x,y,k`` query CSV and replays it either through one
+    ``SpatialEngine.execute_batch`` call (the default) or — with
+    ``--shards N`` — through the supervised sharded serving tier, and
+    prints aggregate latency, throughput, and (unsharded) the estimate
+    cache's hit rate.  ``--strict`` keeps its meaning in both paths:
+    fallback degradation is disabled, so suspicious queries become
+    errors (exit code 2) and a lost shard becomes a
+    ``ShardExhaustedError`` (exit code 3) instead of degraded notes.
     """
     from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
     from repro.workloads import QueryBatch, serve_workload
@@ -197,13 +214,41 @@ def _run_select_batch(args: argparse.Namespace) -> int:
         )
     )
     engine.register(SpatialTable("points", points, capacity=args.capacity))
-    report = serve_workload(engine, "points", batch, mode="batch")
+    if args.shards:
+        from repro.serving import AdmissionController
+
+        report = serve_workload(
+            engine,
+            "points",
+            batch,
+            mode="sharded",
+            shards=args.shards,
+            workers=max(1, args.workers or 1),
+            deadline_ms=args.deadline_ms,
+            tier_options={
+                "strict": args.strict,
+                # The CLI front door always runs admission control, so a
+                # spent deadline or an oversized batch is refused with
+                # OverloadError (exit 3) before any worker spawns.
+                "admission": AdmissionController(),
+                # Workers mirror the reference engine's configuration
+                # (cache stays off: sharded answers must be
+                # bit-identical to the unsharded plan).
+                "manager_kwargs": {
+                    "max_k": args.max_k,
+                    "fallback": not args.strict,
+                    "strict": args.strict,
+                },
+            },
+        )
+    else:
+        report = serve_workload(engine, "points", batch, mode="batch")
     print(f"workload:    {batch.describe()}")
     print(report.describe())
     degraded = sum(
         1 for explanation in report.explanations if explanation.degraded
     )
-    if degraded:
+    if degraded and not args.shards:
         print(f"degraded:    {degraded} of {report.n_queries} plans")
     return 0
 
@@ -325,6 +370,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimate-cache capacity for --batch serving (0 disables)",
     )
     p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve --batch through N supervised shard workers "
+        "(0 = in-process batch serving); with --shards, --workers sizes "
+        "each shard's process pool",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-batch deadline for sharded serving, propagated into "
+        "the workers (default: unbounded)",
+    )
+    p.add_argument(
         "--technique", choices=["staircase", "density"], default="staircase"
     )
     p.add_argument("--max-k", type=int, default=1_024)
@@ -380,12 +440,22 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Estimation-taxonomy failures (malformed input files, invalid
-    queries, corrupt catalogs) exit with code 2 and a one-line message;
-    anything else is a bug and propagates with a traceback.
+    queries, corrupt catalogs) exit with code 2 and a one-line message.
+    Serving-capacity refusals — admission control shedding the batch
+    (``OverloadError``) or strict sharded serving losing a shard
+    (``ShardExhaustedError``) — exit with code 3: the request was fine,
+    the tier was not, so retrying later can succeed.  Anything else is
+    a bug and propagates with a traceback.
     """
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except (OverloadError, ShardExhaustedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            print(f"retry after: {retry_after:.2f}s", file=sys.stderr)
+        return 3
     except (EstimationError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

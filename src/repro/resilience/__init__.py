@@ -30,6 +30,8 @@ from repro.resilience.errors import (
     CatalogCorruptError,
     EstimationError,
     InvalidQueryError,
+    OverloadError,
+    ShardExhaustedError,
     StaleCatalogError,
 )
 from repro.resilience.guards import (
@@ -54,6 +56,8 @@ _LAZY = {
     "FaultSchedule": "faultinject",
     "FaultInjectingSelectEstimator": "faultinject",
     "FaultInjectingJoinEstimator": "faultinject",
+    "WorkerFaultSpec": "faultinject",
+    "WorkerFaultPlan": "faultinject",
 }
 
 __all__ = [
@@ -62,6 +66,8 @@ __all__ = [
     "CatalogCorruptError",
     "StaleCatalogError",
     "BudgetExceededError",
+    "OverloadError",
+    "ShardExhaustedError",
     "guard_select_query",
     "guard_join_query",
     "guard_range_query",

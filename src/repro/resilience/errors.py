@@ -14,7 +14,9 @@ Hierarchy::
     ├── InvalidQueryError (also ValueError)   — bad inputs at the boundary
     ├── CatalogCorruptError (also ValueError) — damaged persisted catalogs
     ├── StaleCatalogError                     — catalogs older than the data
-    └── BudgetExceededError                   — per-call time budget blown
+    ├── BudgetExceededError                   — per-call time budget blown
+    ├── OverloadError                         — admission control shed the work
+    └── ShardExhaustedError                   — no shard could answer (strict mode)
 
 ``InvalidQueryError`` and ``CatalogCorruptError`` double as
 ``ValueError`` so that pre-taxonomy call sites (and tests) catching
@@ -57,3 +59,31 @@ class StaleCatalogError(EstimationError):
 
 class BudgetExceededError(EstimationError):
     """An estimator exceeded its per-call time budget."""
+
+
+class OverloadError(EstimationError):
+    """Admission control rejected work the tier cannot absorb right now.
+
+    Raised *before* any query is served — load shedding at the front
+    door, not a mid-flight failure.  Carries a ``retry_after`` hint
+    (seconds) derived from the tier's observed drain rate so callers can
+    back off intelligently instead of hammering a saturated tier.
+
+    Attributes:
+        retry_after: Suggested wait before retrying, in seconds
+            (``None`` when the tier cannot estimate one).
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ShardExhaustedError(EstimationError):
+    """Every eligible shard failed and degradation was disabled.
+
+    Under the default graceful-degradation policy an unavailable shard's
+    queries are answered by the coordinator's local fallback tier and
+    marked degraded; under ``strict`` serving that degradation is an
+    error, and this is it.  Names the shards that failed.
+    """

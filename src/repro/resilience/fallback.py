@@ -34,6 +34,7 @@ healthy invariant, property-tested in ``tests/test_resilience_fallback``).
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -132,33 +133,52 @@ class FallbackBatchOutcome:
 
 
 class _TierHealth:
-    """Failure counters and circuit-breaker state for one tier."""
+    """Failure counters and circuit-breaker state for one tier.
 
-    __slots__ = ("consecutive_failures", "cooldown_remaining", "total_failures", "total_calls")
+    All mutations go through one internal lock: the counters are shared
+    by every thread of a concurrent coordinator (the sharded serving
+    tier serves shards from a thread pool, and several threads may
+    degrade through the same fallback chain at once), and unlocked
+    ``+=`` read-modify-write cycles lose updates under contention.
+    Reads of a single counter are plain attribute reads — they are
+    atomic under the GIL and only ever observe a consistent int.
+    """
+
+    __slots__ = (
+        "consecutive_failures",
+        "cooldown_remaining",
+        "total_failures",
+        "total_calls",
+        "_lock",
+    )
 
     def __init__(self) -> None:
         self.consecutive_failures = 0
         self.cooldown_remaining = 0
         self.total_failures = 0
         self.total_calls = 0
+        self._lock = threading.Lock()
 
     @property
     def circuit_open(self) -> bool:
         return self.cooldown_remaining > 0
 
     def record_success(self) -> None:
-        self.total_calls += 1
-        self.consecutive_failures = 0
+        with self._lock:
+            self.total_calls += 1
+            self.consecutive_failures = 0
 
     def record_failure(self, threshold: int, cooldown: int) -> None:
-        self.total_calls += 1
-        self.total_failures += 1
-        self.consecutive_failures += 1
-        if self.consecutive_failures >= threshold:
-            self.cooldown_remaining = cooldown
+        with self._lock:
+            self.total_calls += 1
+            self.total_failures += 1
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= threshold:
+                self.cooldown_remaining = cooldown
 
     def tick_skip(self) -> None:
-        self.cooldown_remaining -= 1
+        with self._lock:
+            self.cooldown_remaining -= 1
 
 
 class _FallbackChain:
@@ -187,15 +207,38 @@ class _FallbackChain:
             seen.add(name)
         self._tiers: list[tuple[str, Callable[[], object]]] = list(tiers)
         self._instances: dict[str, object] = {}
+        self._build_lock = threading.Lock()
         self._health: dict[str, _TierHealth] = {name: _TierHealth() for name, __ in tiers}
         self._bound = guaranteed_bound
         self._threshold = breaker_threshold
         self._cooldown = breaker_cooldown
         self._budget = time_budget_seconds
-        #: Provenance of the most recent :meth:`estimate` call.
-        self.last_outcome: FallbackOutcome | None = None
-        #: Provenance of the most recent batch call (select chains only).
-        self.last_batch_outcome: FallbackBatchOutcome | None = None
+        # Per-thread provenance: a chain shared by a concurrent
+        # coordinator must not let thread A's batch overwrite the
+        # outcome thread B is about to read back.
+        self._outcomes = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-call provenance (thread-local, so concurrent callers each see
+    # the outcome of *their own* last call)
+    # ------------------------------------------------------------------
+    @property
+    def last_outcome(self) -> FallbackOutcome | None:
+        """Provenance of the calling thread's most recent :meth:`estimate`."""
+        return getattr(self._outcomes, "scalar", None)
+
+    @last_outcome.setter
+    def last_outcome(self, value: FallbackOutcome | None) -> None:
+        self._outcomes.scalar = value
+
+    @property
+    def last_batch_outcome(self) -> FallbackBatchOutcome | None:
+        """Provenance of the calling thread's most recent batch call."""
+        return getattr(self._outcomes, "batch", None)
+
+    @last_batch_outcome.setter
+    def last_batch_outcome(self, value: FallbackBatchOutcome | None) -> None:
+        self._outcomes.batch = value
 
     # ------------------------------------------------------------------
     # Introspection and the fault-injection seam
@@ -215,10 +258,16 @@ class _FallbackChain:
         return self._health[tier]
 
     def tier_instance(self, tier: str) -> object:
-        """Build (if needed) and return one tier's estimator."""
+        """Build (if needed) and return one tier's estimator.
+
+        Lazy construction is serialized so two threads racing on a cold
+        tier cannot build (and pay for) two instances.
+        """
         if tier not in self._instances:
-            factory = dict(self._tiers)[tier]
-            self._instances[tier] = factory()
+            with self._build_lock:
+                if tier not in self._instances:
+                    factory = dict(self._tiers)[tier]
+                    self._instances[tier] = factory()
         return self._instances[tier]
 
     def wrap_tier(self, tier: str, wrap: Callable[[object], object]) -> None:

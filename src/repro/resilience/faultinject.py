@@ -18,6 +18,7 @@ faults in the same places regardless of wall clock or interleaving.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -185,3 +186,93 @@ class FaultInjectingJoinEstimator(_FaultInjectingBase, JoinCostEstimator):
     def estimate(self, k: int) -> float:
         """Delegate to the wrapped estimator through the fault schedules."""
         return self._apply(lambda: self._inner.estimate(k))
+
+
+# ----------------------------------------------------------------------
+# Worker-level faults: process-boundary failures for the sharded
+# serving tier.  Unlike the estimator proxies above — which corrupt a
+# value *inside* one process — these kill, freeze, or slow an entire
+# shard worker, so the supervisor's respawn / timeout / retry machinery
+# can be exercised deterministically.
+# ----------------------------------------------------------------------
+WorkerFaultKind = Literal["crash", "hang", "slow"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFaultSpec:
+    """One deterministic worker-process fault.
+
+    Attributes:
+        kind: ``"crash"`` (hard ``os._exit`` — the worker dies without
+            cleanup, poisoning its pool), ``"hang"`` (sleep ``seconds``
+            before answering; pick ``seconds`` past the serving deadline
+            to simulate a wedged worker), or ``"slow"`` (sleep
+            ``seconds`` then answer normally — a degraded-but-alive
+            worker).
+        shard: Shard the fault targets (``None`` = every shard).
+        on_batch: 0-based index of the batch (chunk) the fault fires on
+            within one worker process's lifetime (``None`` = every
+            batch).
+        incarnation: Which process incarnation of the shard worker the
+            fault applies to — 0 (the default) faults only the original
+            process, so a respawned worker serves cleanly (the
+            "crash once mid-workload" scenario); ``None`` faults every
+            incarnation (a permanently failing shard).
+        seconds: Sleep duration for ``"hang"``/``"slow"`` faults.
+        exit_code: Process exit code for ``"crash"`` faults.
+    """
+
+    kind: WorkerFaultKind
+    shard: int | None = None
+    on_batch: int | None = None
+    incarnation: int | None = 0
+    seconds: float = 0.05
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang", "slow"):
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, shard: int, batch_index: int, incarnation: int) -> bool:
+        """Whether this fault fires for the given serving event."""
+        if self.shard is not None and shard != self.shard:
+            return False
+        if self.on_batch is not None and batch_index != self.on_batch:
+            return False
+        if self.incarnation is not None and incarnation != self.incarnation:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFaultPlan:
+    """A picklable bundle of :class:`WorkerFaultSpec` entries.
+
+    Shipped to shard workers through the pool ``initargs`` (it must
+    pickle), and applied by the worker at the top of every batch.
+    Faults fire by ``(shard, batch index, incarnation)`` — no wall
+    clock, no randomness — so a replayed workload hits the same faults
+    in the same places.
+    """
+
+    specs: tuple[WorkerFaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: WorkerFaultSpec) -> "WorkerFaultPlan":
+        """Build a plan from individual specs."""
+        return cls(specs=tuple(specs))
+
+    def apply(self, shard: int, batch_index: int, incarnation: int) -> None:
+        """Fire every matching fault (called inside the worker process).
+
+        ``crash`` faults exit the process immediately; ``hang`` and
+        ``slow`` faults sleep, then let the batch proceed.
+        """
+        for spec in self.specs:
+            if not spec.matches(shard, batch_index, incarnation):
+                continue
+            if spec.kind == "crash":
+                os._exit(spec.exit_code)
+            time.sleep(spec.seconds)

@@ -1,0 +1,53 @@
+"""The fault-tolerant sharded serving tier.
+
+A supervised, process-sharded front end over the
+:class:`~repro.engine.SpatialEngine`:
+
+* :mod:`~repro.serving.shards` — the shard planner (count-balanced
+  spatial partitioning of query space) and vectorized routing;
+* :mod:`~repro.serving.worker` — the per-shard worker process: a full
+  engine replica serving chunks under a propagated deadline;
+* :mod:`~repro.serving.supervisor` — deadlines, bounded retries with
+  backoff, worker respawn, and per-shard circuit breakers;
+* :mod:`~repro.serving.admission` — queue-depth and time-budget load
+  shedding via :class:`~repro.resilience.errors.OverloadError`;
+* :mod:`~repro.serving.coordinator` — routing, fan-out, merge with
+  per-shard provenance, and graceful degradation.
+
+Entry points: :class:`ShardedServingTier` for long-lived serving,
+:func:`serve_sharded` for one-shot runs, and
+``serve_workload(..., mode="sharded")`` in :mod:`repro.workloads`.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.coordinator import (
+    DEGRADED_PLAN,
+    ShardedServingReport,
+    ShardedServingTier,
+    ShardReport,
+    serve_sharded,
+)
+from repro.serving.shards import ShardPlan, plan_shards
+from repro.serving.supervisor import (
+    Deadline,
+    ShardSupervisor,
+    ShardUnavailable,
+    ShardWorkerHandle,
+    SupervisionPolicy,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEGRADED_PLAN",
+    "Deadline",
+    "ShardPlan",
+    "ShardReport",
+    "ShardSupervisor",
+    "ShardUnavailable",
+    "ShardWorkerHandle",
+    "ShardedServingReport",
+    "ShardedServingTier",
+    "SupervisionPolicy",
+    "plan_shards",
+    "serve_sharded",
+]

@@ -1,0 +1,148 @@
+"""Admission control: shed load before it queues, not after.
+
+A serving tier that accepts every request degrades for *everyone* once
+its queues saturate — latency balloons, deadlines blow, and the
+supervisor's retry machinery amplifies the overload it is trying to
+survive.  The :class:`AdmissionController` gates every batch at the
+door with two checks:
+
+* **queue depth** — the tier tracks in-flight queries; a batch that
+  would push the total past ``max_pending_queries`` is refused;
+* **time budget** — with a deadline attached, the controller projects
+  the batch's service time from an EWMA of observed throughput; a batch
+  that cannot finish inside its own deadline is refused *now*, when the
+  caller can still retry elsewhere, instead of timing out later after
+  consuming worker capacity.
+
+Refusal is a typed :class:`~repro.resilience.errors.OverloadError`
+carrying a ``retry_after`` hint (estimated drain time of the current
+queue), so callers can implement honest backpressure instead of a
+blind retry storm.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.resilience.errors import OverloadError
+
+#: Smallest retry_after hint ever issued, seconds.
+_RETRY_AFTER_FLOOR = 0.05
+
+#: EWMA smoothing factor for observed throughput.
+_EWMA_ALPHA = 0.3
+
+
+class AdmissionController:
+    """Queue-depth + time-budget gate in front of the sharded tier.
+
+    Thread-safe: coordinators serving concurrent batches share one
+    controller, and all state moves under one lock.
+
+    Args:
+        max_pending_queries: In-flight query ceiling across all
+            admitted batches.
+
+    Raises:
+        ValueError: If ``max_pending_queries < 1``.
+    """
+
+    def __init__(self, max_pending_queries: int = 100_000) -> None:
+        if max_pending_queries < 1:
+            raise ValueError(
+                f"max_pending_queries must be >= 1, got {max_pending_queries}"
+            )
+        self.max_pending_queries = int(max_pending_queries)
+        self._pending = 0
+        self._qps_ewma = 0.0
+        self._admitted = 0
+        self._shed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def pending(self) -> int:
+        """Queries currently admitted and not yet released."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def throughput_estimate(self) -> float:
+        """EWMA of observed serving throughput, queries/s (0 = unknown)."""
+        with self._lock:
+            return self._qps_ewma
+
+    @property
+    def shed(self) -> int:
+        """Total queries refused admission so far."""
+        with self._lock:
+            return self._shed
+
+    def admit(self, n_queries: int, remaining_seconds: float | None) -> None:
+        """Admit ``n_queries`` or raise :class:`OverloadError`.
+
+        Args:
+            n_queries: Batch size asking for admission.
+            remaining_seconds: The batch's remaining deadline (``None``
+                = unbounded, which disables the time-budget check).
+
+        Raises:
+            OverloadError: When the queue is full, the deadline is
+                already spent, or the projected service time exceeds
+                the deadline.  ``retry_after`` estimates when capacity
+                frees up.
+        """
+        if n_queries < 0:
+            raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+        with self._lock:
+            retry_after = self._drain_seconds()
+            if remaining_seconds is not None and remaining_seconds <= 0:
+                self._shed += n_queries
+                raise OverloadError(
+                    "deadline already exhausted at admission",
+                    retry_after=_RETRY_AFTER_FLOOR,
+                )
+            projected = self._pending + n_queries
+            if projected > self.max_pending_queries:
+                self._shed += n_queries
+                raise OverloadError(
+                    f"queue full: {self._pending} queries in flight, admitting "
+                    f"{n_queries} would exceed the {self.max_pending_queries} cap",
+                    retry_after=retry_after,
+                )
+            if (
+                remaining_seconds is not None
+                and self._qps_ewma > 0.0
+                and projected / self._qps_ewma > remaining_seconds
+            ):
+                self._shed += n_queries
+                raise OverloadError(
+                    f"projected service time {projected / self._qps_ewma:.3f}s "
+                    f"exceeds the {remaining_seconds:.3f}s deadline "
+                    f"({self._pending} queries already in flight)",
+                    retry_after=retry_after,
+                )
+            self._pending = projected
+            self._admitted += n_queries
+
+    def release(self, n_queries: int, seconds: float) -> None:
+        """Return capacity after a batch finishes (success or not).
+
+        Args:
+            n_queries: The count previously admitted.
+            seconds: Wall-clock the batch took — feeds the throughput
+                EWMA used by the time-budget gate and retry hints.
+        """
+        with self._lock:
+            self._pending = max(0, self._pending - n_queries)
+            if n_queries > 0 and seconds > 0:
+                observed = n_queries / seconds
+                if self._qps_ewma == 0.0:
+                    self._qps_ewma = observed
+                else:
+                    self._qps_ewma += _EWMA_ALPHA * (observed - self._qps_ewma)
+
+    def _drain_seconds(self) -> float:
+        """Estimated time for the current queue to drain (lock held)."""
+        if self._qps_ewma <= 0.0 or self._pending == 0:
+            return _RETRY_AFTER_FLOOR
+        return max(_RETRY_AFTER_FLOOR, self._pending / self._qps_ewma)

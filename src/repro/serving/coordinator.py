@@ -1,0 +1,474 @@
+"""The sharded serving coordinator: route, fan out, merge, degrade.
+
+:class:`ShardedServingTier` is the front door of the serving
+subsystem.  Per batch it:
+
+1. asks the :class:`~repro.serving.admission.AdmissionController` (if
+   configured) for admission under the batch's deadline;
+2. routes every query to its spatial shard via the
+   :class:`~repro.serving.shards.ShardPlan`;
+3. fans the per-shard sub-workloads out to supervised worker processes
+   in ``chunk_size`` chunks (one coordinator thread per shard stream),
+   each chunk served under the
+   :class:`~repro.serving.supervisor.ShardSupervisor`'s
+   deadline/retry/respawn/breaker contract;
+4. merges the per-shard answers back into workload order with
+   per-shard provenance (:class:`ShardReport`);
+5. degrades instead of failing: queries whose shard stayed unavailable
+   are answered by the coordinator's *local* uniform-model fallback —
+   an estimate-only answer clamped to the guaranteed bound (the
+   relation's block count), flagged ``degraded=True`` with
+   ``results[i] is None`` — unless ``strict`` serving was requested, in
+   which case a :class:`~repro.resilience.errors.ShardExhaustedError`
+   is raised.
+
+Because every worker holds a full replica of the point set and the
+quadtree partition is a pure function of (points, capacity), every
+*non-degraded* answer is bit-identical to what an unsharded
+:class:`~repro.engine.SpatialEngine` with the same configuration would
+have produced — the chaos suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.planner import PlanExplanation
+from repro.engine.table import SpatialTable
+from repro.estimators.uniform_model import UniformModelEstimator
+from repro.index.snapshot import as_snapshot
+from repro.resilience.errors import ShardExhaustedError
+from repro.resilience.faultinject import WorkerFaultPlan
+from repro.serving.admission import AdmissionController
+from repro.serving.shards import ShardPlan, plan_shards
+from repro.serving.supervisor import (
+    Deadline,
+    ShardSupervisor,
+    ShardUnavailable,
+    ShardWorkerHandle,
+    SupervisionPolicy,
+)
+from repro.workloads.queries import QueryBatch
+from repro.workloads.serving import ServingReport
+
+#: Plan label for degraded, estimate-only answers.
+DEGRADED_PLAN = "degraded-estimate-only"
+
+#: Sentinel distinguishing "use the tier default" from an explicit None.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard provenance for one served batch.
+
+    Attributes:
+        shard_id: The shard.
+        n_queries: Queries routed to it this batch.
+        n_chunks: Chunks its stream(s) submitted.
+        attempts: Worker submissions (includes retries).
+        retries: Re-submissions after a failed attempt.
+        respawns: Pool incarnations killed and replaced (crash or hang).
+        timeouts: Attempts abandoned on the future timeout.
+        failures: Failed attempts of any kind.
+        degraded_queries: Queries this shard could not answer (served by
+            the coordinator's local fallback instead).
+        circuit_open: Whether the shard's breaker was open when the
+            batch finished.
+    """
+
+    shard_id: int
+    n_queries: int
+    n_chunks: int
+    attempts: int
+    retries: int
+    respawns: int
+    timeouts: int
+    failures: int
+    degraded_queries: int
+    circuit_open: bool
+
+    def describe(self) -> str:
+        """One line for the report summary."""
+        bits = [
+            f"shard {self.shard_id}: {self.n_queries} queries",
+            f"{self.attempts} attempts",
+        ]
+        if self.retries:
+            bits.append(f"{self.retries} retries")
+        if self.respawns:
+            bits.append(f"{self.respawns} respawns")
+        if self.timeouts:
+            bits.append(f"{self.timeouts} timeouts")
+        if self.degraded_queries:
+            bits.append(f"{self.degraded_queries} degraded")
+        if self.circuit_open:
+            bits.append("breaker OPEN")
+        return ", ".join(bits)
+
+
+@dataclass(frozen=True)
+class ShardedServingReport(ServingReport):
+    """A :class:`~repro.workloads.serving.ServingReport` with shard provenance.
+
+    Attributes:
+        shard_ids: ``(n,)`` shard each query was routed to.
+        degraded: ``(n,)`` bool mask of estimate-only answers (their
+            ``results`` entry is ``None``).
+        shards: Per-shard :class:`ShardReport`, ascending by shard id.
+        deadline_ms: The deadline the batch ran under (``None`` =
+            unbounded).
+    """
+
+    shard_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    degraded: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    shards: tuple[ShardReport, ...] = ()
+    deadline_ms: float | None = None
+
+    @property
+    def n_degraded(self) -> int:
+        """Queries answered by the coordinator's degraded fallback."""
+        return int(np.count_nonzero(self.degraded))
+
+    def describe(self) -> str:
+        """Multi-line summary: base report + shard and degradation lines."""
+        lines = [super().describe()]
+        if self.deadline_ms is not None:
+            lines.append(f"deadline:    {self.deadline_ms:.0f} ms")
+        healthy = self.n_queries - self.n_degraded
+        lines.append(
+            f"degraded:    {self.n_degraded} of {self.n_queries} queries "
+            f"({healthy} exact)"
+        )
+        for shard in self.shards:
+            lines.append(f"  {shard.describe()}")
+        return "\n".join(lines)
+
+
+class ShardedServingTier:
+    """A supervised, sharded serving front end over one relation.
+
+    Args:
+        table: The relation to serve (its points are replicated to
+            every shard worker).
+        n_shards: Spatial shards / worker pools.
+        workers_per_shard: Processes per shard pool; each extra worker
+            adds one concurrent chunk stream for that shard's traffic.
+        chunk_size: Queries per worker submission (the retry and
+            degradation granularity).
+        deadline_ms: Default per-batch deadline (``None`` = unbounded);
+            :meth:`serve` can override per batch.
+        policy: Supervision knobs (retries, backoff, breaker, timeout).
+        admission: Optional shared admission gate.
+        worker_faults: Fault-injection plan shipped to every worker
+            (chaos testing).
+        strict: Raise :class:`ShardExhaustedError` instead of degrading.
+        manager_kwargs: :class:`~repro.engine.StatisticsManager`
+            configuration for the worker replicas.  Must match the
+            reference engine's configuration for bit-identical answers;
+            leave ``estimate_cache_size`` at 0 — a warm cache can flip
+            plan choices and break the identity.
+
+    The tier is a context manager; :meth:`close` terminates every
+    worker pool.
+    """
+
+    def __init__(
+        self,
+        table: SpatialTable,
+        *,
+        n_shards: int = 4,
+        workers_per_shard: int = 1,
+        chunk_size: int = 1024,
+        deadline_ms: float | None = None,
+        policy: SupervisionPolicy | None = None,
+        admission: AdmissionController | None = None,
+        worker_faults: WorkerFaultPlan | None = None,
+        strict: bool = False,
+        manager_kwargs: dict | None = None,
+        shard_plan: ShardPlan | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if table.n_rows == 0:
+            raise ValueError("cannot shard-serve an empty table")
+        self.table = table
+        self.chunk_size = int(chunk_size)
+        self.deadline_ms = deadline_ms
+        self.strict = bool(strict)
+        self.admission = admission
+        self._workers_per_shard = int(workers_per_shard)
+        snapshot = as_snapshot(table.index)
+        # Routing is a pure load-partitioning concern: any ShardPlan
+        # over any substrate yields the same answers, because every
+        # worker replicates the full relation.  A caller may therefore
+        # supply a plan built from a different index (n_shards is then
+        # taken from the plan).
+        self.plan: ShardPlan = (
+            shard_plan if shard_plan is not None else plan_shards(snapshot, n_shards)
+        )
+        self._manager_kwargs = dict(manager_kwargs or {})
+        capacity = int(table.index.capacity)
+        handles = {
+            sid: ShardWorkerHandle(
+                sid,
+                table.points,
+                capacity,
+                self._manager_kwargs,
+                fault_plan=worker_faults,
+                workers=workers_per_shard,
+            )
+            for sid in range(self.plan.n_shards)
+        }
+        self.supervisor = ShardSupervisor(handles, policy)
+        # The degradation tier: location-independent, estimate-only,
+        # always inside the guaranteed bound.
+        self._fallback_model = UniformModelEstimator(snapshot)
+        self._guaranteed_bound = float(table.index.num_blocks)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, batch: QueryBatch, deadline_ms: float | None | object = _UNSET
+    ) -> ShardedServingReport:
+        """Serve one workload batch through the shards.
+
+        Args:
+            batch: The workload.
+            deadline_ms: Per-batch deadline override (``None`` =
+                unbounded; omitted = the tier default).
+
+        Raises:
+            OverloadError: Refused at admission (queue or time budget).
+            ShardExhaustedError: Under ``strict`` serving, when any
+                query's shard stayed unavailable through its retries.
+        """
+        effective_deadline = (
+            self.deadline_ms if deadline_ms is _UNSET else deadline_ms
+        )
+        deadline = Deadline.after_ms(effective_deadline)
+        n = len(batch)
+        if self.admission is not None:
+            self.admission.admit(n, deadline.remaining())
+        start = time.perf_counter()
+        try:
+            report = self._serve_admitted(batch, deadline, effective_deadline)
+        finally:
+            if self.admission is not None:
+                self.admission.release(n, time.perf_counter() - start)
+        return report
+
+    def _serve_admitted(
+        self, batch: QueryBatch, deadline: Deadline, deadline_ms: float | None
+    ) -> ShardedServingReport:
+        n = len(batch)
+        shard_ids = (
+            self.plan.assign(batch.points) if n else np.empty(0, dtype=np.int64)
+        )
+        results: list = [None] * n
+        explanations: list = [None] * n
+        latencies_us = np.zeros(n, dtype=float)
+        degraded = np.zeros(n, dtype=bool)
+        counters_before = {
+            sid: self._counter_snapshot(sid) for sid in self.supervisor.shard_ids
+        }
+        chunk_counts = dict.fromkeys(self.supervisor.shard_ids, 0)
+        streams: list[tuple[int, list[np.ndarray]]] = []
+        for sid in self.supervisor.shard_ids:
+            member_idx = np.flatnonzero(shard_ids == sid)
+            if member_idx.size == 0:
+                continue
+            chunks = [
+                member_idx[lo : lo + self.chunk_size]
+                for lo in range(0, member_idx.size, self.chunk_size)
+            ]
+            chunk_counts[sid] = len(chunks)
+            for stream_no in range(min(self._workers_per_shard, len(chunks))):
+                streams.append((sid, chunks[stream_no :: self._workers_per_shard]))
+        start = time.perf_counter()
+        if streams:
+            with ThreadPoolExecutor(max_workers=len(streams)) as pool:
+                futures = [
+                    pool.submit(
+                        self._serve_stream,
+                        sid,
+                        chunks,
+                        batch,
+                        deadline,
+                        results,
+                        explanations,
+                        latencies_us,
+                        degraded,
+                    )
+                    for sid, chunks in streams
+                ]
+                for future in futures:
+                    future.result()
+        self._fill_degraded(batch, shard_ids, degraded, results, explanations)
+        seconds = time.perf_counter() - start
+        shard_reports = tuple(
+            self._shard_report(
+                sid,
+                int(np.count_nonzero(shard_ids == sid)),
+                chunk_counts[sid],
+                int(np.count_nonzero(degraded[shard_ids == sid])),
+                counters_before[sid],
+            )
+            for sid in self.supervisor.shard_ids
+        )
+        return ShardedServingReport(
+            mode="sharded",
+            n_queries=n,
+            seconds=seconds,
+            results=results,
+            explanations=explanations,
+            cache_hits=None,
+            cache_misses=None,
+            latencies_us=latencies_us,
+            shard_ids=shard_ids,
+            degraded=degraded,
+            shards=shard_reports,
+            deadline_ms=deadline_ms,
+        )
+
+    def _serve_stream(
+        self,
+        shard_id: int,
+        chunks: list[np.ndarray],
+        batch: QueryBatch,
+        deadline: Deadline,
+        results: list,
+        explanations: list,
+        latencies_us: np.ndarray,
+        degraded: np.ndarray,
+    ) -> None:
+        """Serve one shard stream's chunks sequentially.
+
+        Writes land at disjoint workload indices across streams, so the
+        shared output arrays need no locking.
+        """
+        for chunk_idx in chunks:
+            payload = {
+                "points": batch.points[chunk_idx],
+                "ks": batch.ks[chunk_idx],
+            }
+            chunk_start = time.perf_counter()
+            try:
+                chunk_results, chunk_explanations, _attempts = (
+                    self.supervisor.serve_chunk(shard_id, payload, deadline)
+                )
+            except ShardUnavailable:
+                degraded[chunk_idx] = True
+                latencies_us[chunk_idx] = (
+                    (time.perf_counter() - chunk_start) / chunk_idx.size * 1e6
+                )
+                continue
+            latencies_us[chunk_idx] = (
+                (time.perf_counter() - chunk_start) / chunk_idx.size * 1e6
+            )
+            for offset, workload_i in enumerate(chunk_idx):
+                results[workload_i] = chunk_results[offset]
+                explanations[workload_i] = chunk_explanations[offset]
+
+    def _fill_degraded(
+        self,
+        batch: QueryBatch,
+        shard_ids: np.ndarray,
+        degraded: np.ndarray,
+        results: list,
+        explanations: list,
+    ) -> None:
+        """Answer unavailable-shard queries from the local fallback tier."""
+        degraded_idx = np.flatnonzero(degraded)
+        if degraded_idx.size == 0:
+            return
+        if self.strict:
+            failed = sorted(int(s) for s in np.unique(shard_ids[degraded_idx]))
+            raise ShardExhaustedError(
+                f"{degraded_idx.size} of {len(batch)} queries lost their shard "
+                f"(shards {failed}) and strict serving forbids degradation"
+            )
+        costs = self._fallback_model.estimate_batch(
+            batch.points[degraded_idx], batch.ks[degraded_idx]
+        )
+        # Belt and braces: the degraded answer must respect the
+        # guaranteed bound even if the model misbehaves.
+        costs = np.minimum(
+            np.where(np.isfinite(costs) & (costs >= 0.0), costs, self._guaranteed_bound),
+            self._guaranteed_bound,
+        )
+        for offset, workload_i in enumerate(degraded_idx):
+            k = int(batch.ks[workload_i])
+            results[workload_i] = None
+            explanations[workload_i] = PlanExplanation(
+                chosen=DEGRADED_PLAN,
+                alternatives={DEGRADED_PLAN: float(costs[offset])},
+                effective_k=k,
+                estimator_tier="uniform-model",
+                degraded=True,
+                notes=[
+                    f"shard {int(shard_ids[workload_i])} unavailable; "
+                    "estimate-only answer from the coordinator's local fallback"
+                ],
+            )
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def _counter_snapshot(self, shard_id: int) -> tuple[int, int, int, int, int]:
+        c = self.supervisor.counters(shard_id)
+        return (c.attempts, c.retries, c.respawns, c.timeouts, c.failures)
+
+    def _shard_report(
+        self,
+        shard_id: int,
+        n_queries: int,
+        n_chunks: int,
+        degraded_queries: int,
+        before: tuple[int, int, int, int, int],
+    ) -> ShardReport:
+        after = self._counter_snapshot(shard_id)
+        attempts, retries, respawns, timeouts, failures = (
+            after[i] - before[i] for i in range(5)
+        )
+        return ShardReport(
+            shard_id=shard_id,
+            n_queries=n_queries,
+            n_chunks=n_chunks,
+            attempts=attempts,
+            retries=retries,
+            respawns=respawns,
+            timeouts=timeouts,
+            failures=failures,
+            degraded_queries=degraded_queries,
+            circuit_open=self.supervisor.health(shard_id).circuit_open,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate every shard's worker pool."""
+        self.supervisor.close()
+
+    def __enter__(self) -> "ShardedServingTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_sharded(table: SpatialTable, batch: QueryBatch, **tier_kwargs) -> ShardedServingReport:
+    """One-shot sharded serving: build a tier, serve, tear it down.
+
+    Thin convenience over :class:`ShardedServingTier` for CLI and
+    benchmark runs that serve a single batch; long-lived callers should
+    hold a tier instead and amortize the worker spawns.
+    """
+    with ShardedServingTier(table, **tier_kwargs) as tier:
+        return tier.serve(batch)

@@ -1,0 +1,370 @@
+"""Worker supervision: deadlines, retries, respawn, circuit breaking.
+
+The supervisor owns the robustness contract of the sharded tier.  Every
+chunk submitted to a shard runs under:
+
+* a **deadline** — the coordinator's remaining time budget is
+  propagated into the worker (where it feeds
+  :func:`~repro.resilience.fallback.budget_check`) *and* enforced
+  coordinator-side as a future timeout, so even a worker that stops
+  responding cannot stall the batch;
+* **bounded retries with exponential backoff + jitter** — transient
+  failures (a crashed worker, a blown budget) are retried up to
+  ``max_retries`` times, never sleeping past the remaining deadline;
+* **automatic respawn** — a poisoned pool (``BrokenProcessPool`` after
+  a worker death) or a hung worker (future timeout) is killed and
+  recreated with a bumped *incarnation* number, which the
+  fault-injection plan uses to distinguish "crash once" from
+  "permanently down";
+* a **per-shard circuit breaker** mirroring the fallback chains'
+  :class:`~repro.resilience.fallback._TierHealth` — after
+  ``breaker_threshold`` consecutive chunk failures the shard is skipped
+  for ``breaker_cooldown`` chunk attempts, so a dead shard costs one
+  health check instead of a full retry ladder per chunk.
+
+A chunk that exhausts its retries (or meets an open breaker) raises
+:class:`ShardUnavailable`; the coordinator catches it and degrades
+those queries to its local fallback tier instead of failing the batch.
+
+Worker pools use the ``spawn`` start method: the supervisor respawns
+pools from coordinator threads, and forking a multi-threaded process
+is where deadlocks live.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.resilience.fallback import _TierHealth
+from repro.resilience.faultinject import WorkerFaultPlan
+from repro.serving.worker import _init_shard_worker, _serve_shard_chunk
+
+#: Default per-chunk timeout when no deadline bounds the batch.
+DEFAULT_CHUNK_TIMEOUT = 30.0
+
+#: Grace added to the future timeout so a worker's own (typed)
+#: BudgetExceededError wins the race against the coordinator's
+#: untyped timeout when both fire around the same instant.
+_TIMEOUT_GRACE = 0.1
+
+
+class ShardUnavailable(Exception):
+    """A shard could not answer a chunk within its retry budget.
+
+    Internal control flow between supervisor and coordinator — the
+    coordinator translates it into degraded results (or, under strict
+    serving, a :class:`~repro.resilience.errors.ShardExhaustedError`).
+
+    Attributes:
+        shard_id: The shard that failed.
+        attempts: Human-readable per-attempt outcomes.
+    """
+
+    def __init__(self, shard_id: int, attempts: list[str]) -> None:
+        super().__init__(
+            f"shard {shard_id} unavailable after {len(attempts)} attempt(s): "
+            + "; ".join(attempts)
+        )
+        self.shard_id = shard_id
+        self.attempts = attempts
+
+
+class Deadline:
+    """A monotonic time budget threaded through the serving path."""
+
+    __slots__ = ("_start", "budget_seconds")
+
+    def __init__(self, budget_seconds: float | None) -> None:
+        # Zero is a valid, already-expired budget — admission sheds it
+        # as OverloadError instead of the caller crashing on a guard.
+        if budget_seconds is not None and budget_seconds < 0:
+            raise ValueError(f"budget_seconds must be >= 0, got {budget_seconds}")
+        self._start = time.perf_counter()
+        self.budget_seconds = budget_seconds
+
+    @classmethod
+    def after_ms(cls, deadline_ms: float | None) -> "Deadline":
+        """A deadline ``deadline_ms`` from now (``None`` = unbounded)."""
+        return cls(None if deadline_ms is None else deadline_ms / 1000.0)
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` for an unbounded deadline."""
+        if self.budget_seconds is None:
+            return None
+        return self.budget_seconds - (time.perf_counter() - self._start)
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+class _ShardCounters:
+    """Lock-protected supervision counters for one shard."""
+
+    __slots__ = ("attempts", "retries", "respawns", "timeouts", "failures", "_lock")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.respawns = 0
+        self.timeouts = 0
+        self.failures = 0
+        self._lock = threading.Lock()
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+
+class ShardWorkerHandle:
+    """Coordinator-side lifecycle of one shard's worker pool.
+
+    The pool is created lazily and replaced wholesale on
+    :meth:`retire` — a crashed or hung incarnation is terminated, and
+    the next :meth:`submit` spawns a fresh one with an incremented
+    incarnation number (shipped to the worker initializer, where the
+    fault plan consults it).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        points: np.ndarray,
+        capacity: int,
+        manager_kwargs: dict,
+        fault_plan: WorkerFaultPlan | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.shard_id = int(shard_id)
+        self.incarnation = -1  # bumped to 0 on first spawn
+        self._points = np.ascontiguousarray(points, dtype=float)
+        self._capacity = int(capacity)
+        self._manager_kwargs = dict(manager_kwargs)
+        self._fault_plan = fault_plan
+        self._workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self.incarnation += 1
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_init_shard_worker,
+                    initargs=(
+                        self.shard_id,
+                        self.incarnation,
+                        self._points,
+                        self._capacity,
+                        self._manager_kwargs,
+                        self._fault_plan,
+                    ),
+                )
+            return self._pool
+
+    def submit(self, payload: dict):
+        """Submit one chunk; returns ``(pool, future)``.
+
+        The pool reference lets the caller :meth:`retire` exactly the
+        incarnation it submitted to, even if another thread has already
+        swapped in a replacement.
+        """
+        pool = self._ensure_pool()
+        return pool, pool.submit(_serve_shard_chunk, payload)
+
+    def retire(self, pool: ProcessPoolExecutor) -> None:
+        """Kill one pool incarnation (hung or poisoned) for respawn.
+
+        Terminates the worker processes outright — a hung worker would
+        otherwise survive a plain ``shutdown`` and keep its CPU and
+        memory until its sleep ends.
+        """
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead process
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the current pool down cleanly (tier teardown)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """The supervisor's knobs, bundled for reuse across tiers.
+
+    Attributes:
+        max_retries: Extra attempts after the first failure of a chunk.
+        backoff_base: First retry delay, seconds; attempt ``i`` waits
+            ``backoff_base * 2**i`` (capped), times a jitter factor in
+            ``[0.5, 1.5)`` drawn from a per-shard seeded RNG.
+        backoff_cap: Upper bound on any single backoff sleep.
+        breaker_threshold: Consecutive chunk failures that open a
+            shard's circuit breaker.
+        breaker_cooldown: Chunk attempts a tripped shard is skipped for.
+        chunk_timeout: Per-attempt wall-clock bound when no deadline
+            applies (a deadline tightens it, never loosens it).
+        seed: Jitter RNG seed (deterministic backoff in tests).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+    chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be positive, got {self.chunk_timeout}")
+
+
+class ShardSupervisor:
+    """Retry, respawn, and circuit-break chunk serving across shards."""
+
+    def __init__(
+        self,
+        handles: dict[int, ShardWorkerHandle],
+        policy: SupervisionPolicy | None = None,
+    ) -> None:
+        if not handles:
+            raise ValueError("a supervisor needs at least one shard handle")
+        self._handles = dict(handles)
+        self.policy = policy or SupervisionPolicy()
+        self._health = {sid: _TierHealth() for sid in self._handles}
+        self._counters = {sid: _ShardCounters() for sid in self._handles}
+        self._rngs = {
+            sid: random.Random(self.policy.seed * 1_000_003 + sid)
+            for sid in self._handles
+        }
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Supervised shard ids, ascending."""
+        return tuple(sorted(self._handles))
+
+    def health(self, shard_id: int) -> _TierHealth:
+        """One shard's breaker state (monitoring and tests)."""
+        return self._health[shard_id]
+
+    def counters(self, shard_id: int) -> _ShardCounters:
+        """One shard's supervision counters."""
+        return self._counters[shard_id]
+
+    def handle(self, shard_id: int) -> ShardWorkerHandle:
+        """One shard's pool handle (the fault-injection seam)."""
+        return self._handles[shard_id]
+
+    def serve_chunk(
+        self, shard_id: int, payload: dict, deadline: Deadline
+    ) -> tuple[list, list, list[str]]:
+        """Serve one chunk on one shard under the full supervision contract.
+
+        Returns:
+            ``(results, explanations, attempts)`` — per-query outputs in
+            chunk order plus the attempt log.
+
+        Raises:
+            ShardUnavailable: After the retry budget (or an open
+                breaker, or an expired deadline) — the caller degrades.
+        """
+        policy = self.policy
+        handle = self._handles[shard_id]
+        health = self._health[shard_id]
+        counters = self._counters[shard_id]
+        attempts: list[str] = []
+        for attempt in range(policy.max_retries + 1):
+            if health.circuit_open:
+                health.tick_skip()
+                attempts.append("skipped (circuit open)")
+                raise ShardUnavailable(shard_id, attempts)
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                attempts.append("deadline exhausted")
+                raise ShardUnavailable(shard_id, attempts)
+            timeout = (
+                policy.chunk_timeout
+                if remaining is None
+                else min(remaining, policy.chunk_timeout)
+            )
+            counters.bump(attempts=1, retries=1 if attempt else 0)
+            pool = future = None
+            try:
+                pool, future = handle.submit(
+                    dict(payload, budget_seconds=timeout)
+                )
+                results, explanations = future.result(timeout=timeout + _TIMEOUT_GRACE)
+            except BrokenExecutor:
+                counters.bump(respawns=1, failures=1)
+                health.record_failure(policy.breaker_threshold, policy.breaker_cooldown)
+                attempts.append("worker crashed (pool poisoned; respawning)")
+                if pool is not None:
+                    handle.retire(pool)
+            except FutureTimeoutError:
+                counters.bump(respawns=1, timeouts=1, failures=1)
+                health.record_failure(policy.breaker_threshold, policy.breaker_cooldown)
+                attempts.append(
+                    f"no answer within {timeout:.3f}s (worker hung; respawning)"
+                )
+                if future is not None:
+                    future.cancel()
+                if pool is not None:
+                    handle.retire(pool)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                counters.bump(failures=1)
+                health.record_failure(policy.breaker_threshold, policy.breaker_cooldown)
+                attempts.append(f"{type(exc).__name__}: {exc}")
+            else:
+                health.record_success()
+                attempts.append("ok")
+                return results, explanations, attempts
+            self._backoff(shard_id, attempt, deadline)
+        raise ShardUnavailable(shard_id, attempts)
+
+    def _backoff(self, shard_id: int, attempt: int, deadline: Deadline) -> None:
+        """Sleep before the next attempt, never past the deadline."""
+        policy = self.policy
+        delay = min(policy.backoff_cap, policy.backoff_base * (2.0**attempt))
+        delay *= 0.5 + self._rngs[shard_id].random()  # jitter in [0.5, 1.5)
+        remaining = deadline.remaining()
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining - 1e-3))
+        if delay > 0:
+            time.sleep(delay)
+
+    def close(self) -> None:
+        """Shut every shard pool down."""
+        for handle in self._handles.values():
+            handle.close()

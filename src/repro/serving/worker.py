@@ -1,0 +1,117 @@
+"""Shard-worker process internals.
+
+One shard = one single-worker :class:`~concurrent.futures.ProcessPoolExecutor`
+whose process is initialized once with the (pickle-shipped) point set
+and serving configuration — the same ``initargs`` pattern as
+:mod:`repro.perf.parallel` — and then serves batched sub-workloads.
+Each worker builds a full :class:`~repro.engine.SpatialEngine` replica
+over the points; the quadtree partition is a pure function of the
+points and capacity, so a worker's ``execute_batch`` output is
+bit-identical to the coordinator's unsharded engine.
+
+Deadline propagation: every chunk message carries the coordinator's
+*remaining* time budget, and the worker calls
+:func:`~repro.resilience.fallback.budget_check` between serving slices
+— a blown deadline surfaces as a typed
+:class:`~repro.resilience.errors.BudgetExceededError` mid-chunk instead
+of the worker obliviously finishing work nobody is waiting for.
+
+Fault injection: the initializer also receives a
+:class:`~repro.resilience.faultinject.WorkerFaultPlan` plus this
+process's incarnation number; the plan is applied at the top of every
+batch, which is how the chaos suite kills, hangs, or slows a worker on
+a chosen batch deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.resilience.fallback import budget_check
+from repro.resilience.faultinject import WorkerFaultPlan
+
+#: Queries per cooperative budget checkpoint inside one chunk.
+BUDGET_SLICE = 256
+
+#: Relation name shard replicas register their table under.
+SHARD_TABLE = "__shard__"
+
+_WORKER_STATE: dict = {}
+
+
+def _init_shard_worker(
+    shard_id: int,
+    incarnation: int,
+    points: np.ndarray,
+    capacity: int,
+    manager_kwargs: dict,
+    fault_plan: WorkerFaultPlan | None,
+) -> None:
+    """Pool initializer: build the shard's engine replica once.
+
+    Runs in the worker process.  The engine (and therefore any catalog
+    the statistics manager builds lazily) lives for the process's whole
+    incarnation, so repeated chunks amortize the build exactly like a
+    long-lived serving process would.
+    """
+    from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+
+    engine = SpatialEngine(StatisticsManager(**manager_kwargs))
+    engine.register(SpatialTable(SHARD_TABLE, points, capacity=capacity))
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["shard_id"] = int(shard_id)
+    _WORKER_STATE["incarnation"] = int(incarnation)
+    _WORKER_STATE["fault_plan"] = fault_plan
+    _WORKER_STATE["batches_served"] = 0
+
+
+def _serve_shard_chunk(payload: dict) -> tuple[list, list]:
+    """Serve one chunk of queries inside the worker process.
+
+    Args:
+        payload: ``{"points": (m, 2) focal coords, "ks": (m,) ints,
+            "budget_seconds": float | None}``.
+
+    Returns:
+        ``(results, explanations)`` in chunk order —
+        :class:`~repro.engine.ExecutionResult` and
+        :class:`~repro.engine.PlanExplanation` objects (both pickle
+        back to the coordinator).
+
+    Raises:
+        BudgetExceededError: When the propagated deadline expires
+            between serving slices.
+    """
+    from repro.engine.queries import KnnSelectQuery
+    from repro.geometry import Point
+
+    engine = _WORKER_STATE["engine"]
+    fault_plan = _WORKER_STATE["fault_plan"]
+    batch_index = _WORKER_STATE["batches_served"]
+    _WORKER_STATE["batches_served"] = batch_index + 1
+    if fault_plan is not None:
+        fault_plan.apply(
+            _WORKER_STATE["shard_id"], batch_index, _WORKER_STATE["incarnation"]
+        )
+    pts = np.asarray(payload["points"], dtype=float).reshape(-1, 2)
+    ks = np.asarray(payload["ks"], dtype=np.int64).reshape(-1)
+    budget = payload.get("budget_seconds")
+    start = time.perf_counter()
+    results: list = []
+    explanations: list = []
+    for lo in range(0, pts.shape[0], BUDGET_SLICE):
+        budget_check(start, budget, "shard serving")
+        queries = [
+            KnnSelectQuery(
+                SHARD_TABLE,
+                Point(float(pts[i, 0]), float(pts[i, 1])),
+                k=int(ks[i]),
+            )
+            for i in range(lo, min(lo + BUDGET_SLICE, pts.shape[0]))
+        ]
+        for result, explanation in engine.execute_batch(queries):
+            results.append(result)
+            explanations.append(explanation)
+    return results, explanations

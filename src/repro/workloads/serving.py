@@ -1,10 +1,12 @@
 """The batched serving driver: replay a workload, measure throughput.
 
 One function, :func:`serve_workload`, runs a :class:`~repro.workloads.queries.QueryBatch`
-against a :class:`~repro.engine.SpatialEngine` in either serving mode —
-``"batch"`` (one :meth:`~repro.engine.SpatialEngine.execute_batch` call)
-or ``"scalar"`` (a per-query :meth:`~repro.engine.SpatialEngine.execute`
-loop) — and returns a :class:`ServingReport` with wall-clock throughput
+against a :class:`~repro.engine.SpatialEngine` in one of three serving
+modes — ``"batch"`` (one :meth:`~repro.engine.SpatialEngine.execute_batch`
+call), ``"scalar"`` (a per-query :meth:`~repro.engine.SpatialEngine.execute`
+loop), or ``"sharded"`` (the supervised multi-process tier of
+:mod:`repro.serving`) — and returns a :class:`ServingReport` with
+wall-clock throughput, latency percentiles where the mode records them,
 and the estimate cache's hit/miss movement.  The CLI ``--batch`` mode
 and ``benchmarks/bench_serving_throughput.py`` are thin wrappers over
 it, so both measure exactly the same code path.
@@ -15,6 +17,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.workloads.queries import QueryBatch
 
 
@@ -23,7 +27,7 @@ class ServingReport:
     """Outcome of replaying one workload through the engine.
 
     Attributes:
-        mode: ``"batch"`` or ``"scalar"``.
+        mode: ``"batch"``, ``"scalar"``, or ``"sharded"``.
         n_queries: Workload size.
         seconds: Wall-clock time of the replay (planning + execution).
         results: Per-query :class:`~repro.engine.ExecutionResult`, in
@@ -32,6 +36,11 @@ class ServingReport:
         cache_hits: Estimate-cache hits this replay added (``None`` when
             the engine's cache is disabled).
         cache_misses: Estimate-cache misses this replay added.
+        latencies_us: ``(n,)`` per-query latencies in microseconds, when
+            the serving mode records them (``"scalar"`` measures each
+            query; ``"sharded"`` amortizes per chunk; ``"batch"`` plans
+            the whole workload at once, so per-query figures would be
+            fiction and stay ``None``).
     """
 
     mode: str
@@ -41,6 +50,7 @@ class ServingReport:
     explanations: list
     cache_hits: int | None
     cache_misses: int | None
+    latencies_us: np.ndarray | None = None
 
     @property
     def queries_per_second(self) -> float:
@@ -55,6 +65,27 @@ class ServingReport:
         if self.n_queries == 0:
             return 0.0
         return self.seconds / self.n_queries * 1e6
+
+    def _latency_percentile(self, q: float) -> float | None:
+        if self.latencies_us is None or self.latencies_us.size == 0:
+            return None
+        return float(np.percentile(self.latencies_us, q))
+
+    @property
+    def p50_latency_us(self) -> float | None:
+        """Median per-query latency (``None`` when not recorded)."""
+        return self._latency_percentile(50.0)
+
+    @property
+    def p95_latency_us(self) -> float | None:
+        """95th-percentile per-query latency (``None`` when not recorded)."""
+        return self._latency_percentile(95.0)
+
+    @property
+    def p99_latency_us(self) -> float | None:
+        """99th-percentile per-query latency — the serving-tier SLO
+        figure (``None`` when not recorded)."""
+        return self._latency_percentile(99.0)
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -73,6 +104,13 @@ class ServingReport:
             f"throughput:  {self.queries_per_second:,.0f} queries/s",
             f"latency:     {self.mean_latency_us:.1f} us/query (mean)",
         ]
+        if self.p50_latency_us is not None:
+            lines.append(
+                "percentiles: "
+                f"p50 {self.p50_latency_us:.1f} / "
+                f"p95 {self.p95_latency_us:.1f} / "
+                f"p99 {self.p99_latency_us:.1f} us/query"
+            )
         rate = self.cache_hit_rate
         if rate is not None:
             lines.append(
@@ -83,7 +121,15 @@ class ServingReport:
 
 
 def serve_workload(
-    engine, table: str, batch: QueryBatch, mode: str = "batch"
+    engine,
+    table: str,
+    batch: QueryBatch,
+    mode: str = "batch",
+    *,
+    shards: int = 4,
+    workers: int = 1,
+    deadline_ms: float | None = None,
+    tier_options: dict | None = None,
 ) -> ServingReport:
     """Replay a workload against one table and time it.
 
@@ -92,24 +138,53 @@ def serve_workload(
             registered.
         table: Target relation name.
         batch: The workload.
-        mode: ``"batch"`` (vectorized ``execute_batch``) or ``"scalar"``
+        mode: ``"batch"`` (vectorized ``execute_batch``), ``"scalar"``
             (a per-query ``execute`` loop — the baseline the bench
-            compares against).
+            compares against), or ``"sharded"`` (the supervised
+            sharded tier of :mod:`repro.serving` — one-shot: workers
+            are spawned and torn down inside the call).
+        shards: Shard count for ``"sharded"`` mode.
+        workers: Worker processes per shard for ``"sharded"`` mode.
+        deadline_ms: Per-batch deadline for ``"sharded"`` mode
+            (``None`` = unbounded).
+        tier_options: Extra :class:`~repro.serving.ShardedServingTier`
+            keyword arguments for ``"sharded"`` mode (fault plans,
+            supervision policy, admission, ``strict``, ...).
 
     Raises:
         ValueError: On an unknown mode.
     """
-    if mode not in ("batch", "scalar"):
-        raise ValueError(f"mode must be 'batch' or 'scalar', got {mode!r}")
+    if mode not in ("batch", "scalar", "sharded"):
+        raise ValueError(
+            f"mode must be 'batch', 'scalar' or 'sharded', got {mode!r}"
+        )
+    if mode == "sharded":
+        # Imported lazily: repro.serving sits above the workloads layer.
+        from repro.serving import serve_sharded
+
+        return serve_sharded(
+            engine.stats.table(table),
+            batch,
+            n_shards=shards,
+            workers_per_shard=workers,
+            deadline_ms=deadline_ms,
+            **(tier_options or {}),
+        )
     queries = batch.as_knn_queries(table)
     cache = getattr(engine.stats, "estimate_cache", None)
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
+    latencies_us = None
     start = time.perf_counter()
     if mode == "batch":
         pairs = engine.execute_batch(queries)
     else:
-        pairs = [engine.execute(query) for query in queries]
+        pairs = []
+        latencies_us = np.empty(len(queries), dtype=float)
+        for i, query in enumerate(queries):
+            query_start = time.perf_counter()
+            pairs.append(engine.execute(query))
+            latencies_us[i] = (time.perf_counter() - query_start) * 1e6
     seconds = time.perf_counter() - start
     return ServingReport(
         mode=mode,
@@ -119,4 +194,5 @@ def serve_workload(
         explanations=[explanation for __, explanation in pairs],
         cache_hits=cache.hits - hits_before if cache is not None else None,
         cache_misses=cache.misses - misses_before if cache is not None else None,
+        latencies_us=latencies_us,
     )

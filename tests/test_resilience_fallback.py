@@ -255,3 +255,121 @@ class TestJoinChain:
         )
         with pytest.raises(InvalidQueryError):
             chain.estimate(0)
+
+
+class TestThreadSafety:
+    """Contention regressions: the chain's health state is shared by the
+    sharded serving tier's coordinator threads, so counter updates and
+    lazy tier construction must not lose writes under the GIL's
+    preemption, and per-call provenance must stay per-thread."""
+
+    def test_tier_health_counters_survive_contention(self):
+        import sys
+        import threading
+
+        from repro.resilience.fallback import _TierHealth
+
+        health = _TierHealth()
+        n_threads, per_thread = 8, 2_000
+        start = threading.Barrier(n_threads)
+        switch_before = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force preemption inside +=
+        try:
+
+            def hammer():
+                start.wait()
+                for i in range(per_thread):
+                    if i % 2:
+                        health.record_success()
+                    else:
+                        # A threshold no run reaches: exercise the
+                        # counters, not the breaker.
+                        health.record_failure(threshold=10**9, cooldown=4)
+
+            threads = [threading.Thread(target=hammer) for __ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(switch_before)
+        # Unlocked += cycles would lose updates and land below these.
+        assert health.total_calls == n_threads * per_thread
+        assert health.total_failures == n_threads * (per_thread // 2)
+
+    def test_lazy_tier_builds_exactly_once_under_races(self, osm_count_index):
+        import threading
+        import time as _time
+
+        built = []
+
+        def factory():
+            built.append(1)
+            _time.sleep(0.01)  # widen the check-then-build window
+            return UniformModelEstimator(osm_count_index)
+
+        chain = FallbackSelectEstimator(
+            tiers=[("uniform-model", factory)], guaranteed_bound=64.0
+        )
+        start = threading.Barrier(6)
+
+        def call():
+            start.wait()
+            chain.estimate(Point(0.5, 0.5), 4)
+
+        threads = [threading.Thread(target=call) for __ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+
+    def test_last_outcome_is_thread_local(self, osm_quadtree, osm_count_index):
+        import threading
+
+        chain = make_chain(osm_quadtree, osm_count_index)
+        assert chain.last_outcome is None
+        seen = {}
+
+        def call(name):
+            chain.estimate(Point(0.3, 0.3), 8)
+            seen[name] = chain.last_outcome
+
+        threads = [
+            threading.Thread(target=call, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(outcome is not None for outcome in seen.values())
+        # The spawning thread never called estimate: its slot stays empty
+        # instead of leaking another thread's provenance.
+        assert chain.last_outcome is None
+
+    def test_concurrent_estimate_batch_matches_serial(
+        self, osm_quadtree, osm_count_index
+    ):
+        import threading
+
+        chain = make_chain(osm_quadtree, osm_count_index)
+        rng = np.random.default_rng(3)
+        pts = rng.random((64, 2))
+        ks = rng.integers(1, 64, size=64)
+        expected = chain.estimate_batch(pts, ks)
+        outputs = {}
+
+        def call(name):
+            outputs[name] = chain.estimate_batch(pts, ks)
+            outputs[f"{name}-outcome"] = chain.last_batch_outcome
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(4):
+            np.testing.assert_array_equal(outputs[i], expected)
+            assert outputs[f"{i}-outcome"] is not None

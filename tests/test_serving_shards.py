@@ -1,0 +1,433 @@
+"""Deterministic chaos suite for the fault-tolerant sharded serving tier.
+
+The tier's contract, asserted here end to end:
+
+* **bit-identity** — every non-degraded sharded answer (row ids, blocks
+  scanned, chosen plan, costs) equals the unsharded engine's answer for
+  the same workload, regardless of which index substrate the shard
+  plan was derived from;
+* **fault tolerance** — killing, hanging, or slowing workers
+  mid-workload never fails a query: the supervisor retries/respawns,
+  and queries whose shard stays down degrade to bounded estimate-only
+  answers instead of raising;
+* **guaranteed bounds** — every degraded answer's cost lies within
+  ``[0, num_blocks]`` (the same invariant the fallback chains promise);
+* **admission control** — overload is refused up front with a typed
+  :class:`~repro.resilience.errors.OverloadError` and a retry hint.
+
+All faults fire on a deterministic ``(shard, batch, incarnation)``
+schedule — no wall clock, no randomness — so every scenario replays
+identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_osm_like
+from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
+from repro.index import GridIndex, Quadtree, RTree
+from repro.resilience import (
+    OverloadError,
+    ShardExhaustedError,
+    WorkerFaultPlan,
+    WorkerFaultSpec,
+)
+from repro.serving import (
+    DEGRADED_PLAN,
+    AdmissionController,
+    Deadline,
+    ShardedServingTier,
+    SupervisionPolicy,
+    plan_shards,
+    serve_sharded,
+)
+from repro.workloads import QueryBatch
+
+SUBSTRATES = ["quadtree", "grid", "rtree"]
+MAX_K = 64
+CAPACITY = 64
+N_POINTS = 2_500
+N_QUERIES = 320
+
+#: Fast-failing supervision for chaos runs (short backoff, one retry).
+CHAOS_POLICY = SupervisionPolicy(
+    max_retries=1, backoff_base=0.01, backoff_cap=0.05, chunk_timeout=10.0
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    points = generate_osm_like(N_POINTS, seed=11)
+    rng = np.random.default_rng(11)
+    focal = points[rng.integers(0, points.shape[0], size=N_QUERIES)]
+    ks = rng.integers(1, MAX_K // 2, size=N_QUERIES)
+    return points, QueryBatch(points=focal, ks=ks)
+
+
+@pytest.fixture(scope="module")
+def reference(dataset):
+    """The unsharded engine's answers — the bit-identity oracle."""
+    points, batch = dataset
+    engine = SpatialEngine(StatisticsManager(max_k=MAX_K))
+    engine.register(SpatialTable("t", points, capacity=CAPACITY))
+    return engine.execute_batch(batch.as_knn_queries("t"))
+
+
+def _table(points) -> SpatialTable:
+    return SpatialTable("t", points, capacity=CAPACITY)
+
+
+def _routing_index(substrate: str, points):
+    if substrate == "quadtree":
+        return Quadtree(points, capacity=CAPACITY)
+    if substrate == "grid":
+        return GridIndex(points, nx=8)
+    return RTree(points, capacity=CAPACITY)
+
+
+def _assert_exact_matches_reference(report, reference, indices=None):
+    indices = range(len(reference)) if indices is None else indices
+    for i in indices:
+        if report.degraded[i]:
+            continue
+        ref_result, ref_explanation = reference[i]
+        result = report.results[i]
+        assert np.array_equal(result.row_ids, ref_result.row_ids), i
+        assert result.blocks_scanned == ref_result.blocks_scanned, i
+        explanation = report.explanations[i]
+        assert explanation.chosen == ref_explanation.chosen, i
+        assert explanation.alternatives == ref_explanation.alternatives, i
+        assert explanation.effective_k == ref_explanation.effective_k, i
+
+
+# ----------------------------------------------------------------------
+# Shard planning and routing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_plan_tiles_universe_and_routes_every_point(substrate, dataset):
+    points, batch = dataset
+    plan = plan_shards(_routing_index(substrate, points), 4)
+    assert plan.n_shards == 4
+    assert int(plan.weights.sum()) == N_POINTS
+    ids = plan.assign(batch.points)
+    assert ids.shape == (N_QUERIES,)
+    assert ids.min() >= 0 and ids.max() < 4
+    # The rects tile the universe: total area is preserved.
+    areas = (plan.rects[:, 2] - plan.rects[:, 0]) * (
+        plan.rects[:, 3] - plan.rects[:, 1]
+    )
+    x_min, y_min, x_max, y_max = plan.bounds
+    assert np.isclose(areas.sum(), (x_max - x_min) * (y_max - y_min))
+
+
+def test_routing_never_fails_outside_the_universe(dataset):
+    points, __ = dataset
+    plan = plan_shards(Quadtree(points, capacity=CAPACITY), 3)
+    far = np.array([[-1e6, -1e6], [1e6, 1e6], [0.0, 1e9]])
+    ids = plan.assign(far)
+    assert ids.min() >= 0 and ids.max() < 3
+
+
+def test_plan_is_deterministic(dataset):
+    points, __ = dataset
+    index = Quadtree(points, capacity=CAPACITY)
+    a, b = plan_shards(index, 5), plan_shards(index, 5)
+    assert np.array_equal(a.rects, b.rects)
+    assert np.array_equal(a.weights, b.weights)
+
+
+def test_plan_rejects_bad_inputs(dataset):
+    points, __ = dataset
+    with pytest.raises(ValueError):
+        plan_shards(Quadtree(points, capacity=CAPACITY), 0)
+
+
+# ----------------------------------------------------------------------
+# Healthy-path bit-identity (per routing substrate)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_sharded_serving_is_bit_identical_to_unsharded(
+    substrate, dataset, reference
+):
+    points, batch = dataset
+    plan = plan_shards(_routing_index(substrate, points), 3)
+    report = serve_sharded(
+        _table(points),
+        batch,
+        shard_plan=plan,
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    )
+    assert report.mode == "sharded"
+    assert report.n_degraded == 0
+    assert report.n_queries == N_QUERIES
+    assert report.latencies_us is not None
+    assert report.p50_latency_us is not None
+    assert report.p99_latency_us >= report.p50_latency_us
+    _assert_exact_matches_reference(report, reference)
+
+
+# ----------------------------------------------------------------------
+# Chaos: crash / hang / slow workers
+# ----------------------------------------------------------------------
+def test_worker_crash_mid_workload_recovers_without_failures(
+    dataset, reference
+):
+    """Kill 1 of 4 shard workers on its first chunk; zero query failures."""
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(WorkerFaultSpec(kind="crash", shard=2, on_batch=0))
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=4,
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        worker_faults=faults,
+    )
+    # The respawned incarnation serves cleanly: everything is exact.
+    assert report.n_degraded == 0
+    _assert_exact_matches_reference(report, reference)
+    crashed = next(s for s in report.shards if s.shard_id == 2)
+    assert crashed.respawns >= 1
+    assert crashed.retries >= 1
+
+
+def test_hung_worker_is_killed_and_respawned(dataset, reference):
+    points, batch = dataset
+    policy = SupervisionPolicy(
+        max_retries=1, backoff_base=0.01, backoff_cap=0.05, chunk_timeout=1.5
+    )
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="hang", shard=0, on_batch=0, seconds=30.0)
+    )
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=2,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=policy,
+        worker_faults=faults,
+    )
+    assert report.n_degraded == 0
+    _assert_exact_matches_reference(report, reference)
+    hung = next(s for s in report.shards if s.shard_id == 0)
+    assert hung.timeouts >= 1
+    assert hung.respawns >= 1
+
+
+def test_slow_worker_still_answers_exactly(dataset, reference):
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="slow", shard=1, on_batch=0, seconds=0.3)
+    )
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=2,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        worker_faults=faults,
+    )
+    assert report.n_degraded == 0
+    _assert_exact_matches_reference(report, reference)
+
+
+def test_permanently_down_shard_degrades_within_bounds(dataset, reference):
+    """incarnation=None: the shard dies on every respawn — degrade, don't fail."""
+    points, batch = dataset
+    table = _table(points)
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=1, incarnation=None)
+    )
+    report = serve_sharded(
+        table,
+        batch,
+        n_shards=2,
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        worker_faults=faults,
+    )
+    down = report.shard_ids == 1
+    assert np.array_equal(report.degraded, down)
+    assert 0 < report.n_degraded < N_QUERIES
+    bound = float(table.index.num_blocks)
+    for i in np.flatnonzero(report.degraded):
+        assert report.results[i] is None
+        explanation = report.explanations[i]
+        assert explanation.degraded
+        assert explanation.chosen == DEGRADED_PLAN
+        cost = explanation.alternatives[DEGRADED_PLAN]
+        assert 0.0 <= cost <= bound
+    # The healthy shard's answers are still exact.
+    _assert_exact_matches_reference(report, reference)
+    breaker = next(s for s in report.shards if s.shard_id == 1)
+    assert breaker.degraded_queries == report.n_degraded
+
+
+def test_all_shards_down_degrades_every_query(dataset):
+    points, batch = dataset
+    table = _table(points)
+    faults = WorkerFaultPlan.of(WorkerFaultSpec(kind="crash", incarnation=None))
+    report = serve_sharded(
+        table,
+        batch,
+        n_shards=2,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=SupervisionPolicy(max_retries=0, backoff_base=0.01),
+        worker_faults=faults,
+    )
+    assert report.n_degraded == N_QUERIES
+    bound = float(table.index.num_blocks)
+    for i in range(N_QUERIES):
+        assert report.results[i] is None
+        cost = report.explanations[i].alternatives[DEGRADED_PLAN]
+        assert 0.0 <= cost <= bound
+
+
+def test_strict_serving_raises_instead_of_degrading(dataset):
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=0, incarnation=None)
+    )
+    with pytest.raises(ShardExhaustedError):
+        serve_sharded(
+            _table(points),
+            batch,
+            n_shards=2,
+            chunk_size=128,
+            manager_kwargs={"max_k": MAX_K},
+            policy=SupervisionPolicy(max_retries=0, backoff_base=0.01),
+            worker_faults=faults,
+            strict=True,
+        )
+
+
+def test_circuit_breaker_opens_on_a_dead_shard(dataset):
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=0, incarnation=None)
+    )
+    with ShardedServingTier(
+        _table(points),
+        n_shards=2,
+        chunk_size=32,
+        manager_kwargs={"max_k": MAX_K},
+        policy=SupervisionPolicy(
+            max_retries=0, backoff_base=0.01, breaker_threshold=2
+        ),
+        worker_faults=faults,
+    ) as tier:
+        report = tier.serve(batch)
+        assert tier.supervisor.health(0).circuit_open
+        broken = next(s for s in report.shards if s.shard_id == 0)
+        assert broken.circuit_open
+        # Once open, later chunks are shed with one health check, not a
+        # full spawn-crash-respawn ladder per chunk.
+        assert broken.attempts < broken.n_chunks
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+def test_deadline_type():
+    d = Deadline.after_ms(50.0)
+    assert d.remaining() is not None
+    assert d.remaining() <= 0.05
+    unbounded = Deadline.after_ms(None)
+    assert unbounded.remaining() is None
+    assert not unbounded.expired()
+    # Zero is a valid, already-expired budget (`--deadline-ms 0` must
+    # shed at admission, not crash); only negative budgets are invalid.
+    assert Deadline(0.0).expired()
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_spent_deadline_degrades_without_serving(dataset):
+    points, batch = dataset
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=2,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        deadline_ms=1e-6,
+    )
+    # No admission controller: the batch runs, but every chunk finds
+    # the deadline spent and degrades instead of touching a worker.
+    assert report.n_degraded == N_QUERIES
+    assert all(s.attempts == 0 for s in report.shards)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_admission_sheds_on_queue_depth(dataset):
+    points, batch = dataset
+    admission = AdmissionController(max_pending_queries=N_QUERIES - 1)
+    with pytest.raises(OverloadError) as excinfo:
+        serve_sharded(
+            _table(points),
+            batch,
+            n_shards=2,
+            manager_kwargs={"max_k": MAX_K},
+            admission=admission,
+        )
+    assert excinfo.value.retry_after is not None
+    assert admission.shed == N_QUERIES
+    assert admission.pending == 0
+
+
+def test_admission_sheds_on_spent_deadline(dataset):
+    points, batch = dataset
+    with pytest.raises(OverloadError):
+        serve_sharded(
+            _table(points),
+            batch,
+            n_shards=2,
+            manager_kwargs={"max_k": MAX_K},
+            admission=AdmissionController(),
+            deadline_ms=1e-6,
+        )
+
+
+def test_admission_time_budget_gate_uses_observed_throughput():
+    admission = AdmissionController(max_pending_queries=10_000)
+    admission.admit(100, remaining_seconds=None)
+    admission.release(100, seconds=10.0)  # observed: 10 queries/s
+    with pytest.raises(OverloadError) as excinfo:
+        admission.admit(100, remaining_seconds=1.0)  # needs ~10s
+    assert excinfo.value.retry_after is not None
+    # A generous deadline is admitted.
+    admission.admit(100, remaining_seconds=60.0)
+    admission.release(100, seconds=1.0)
+    assert admission.pending == 0
+
+
+def test_admission_releases_capacity_after_failures(dataset):
+    """Capacity comes back even when the serve raises (strict mode)."""
+    points, batch = dataset
+    admission = AdmissionController(max_pending_queries=N_QUERIES)
+    faults = WorkerFaultPlan.of(WorkerFaultSpec(kind="crash", incarnation=None))
+    with pytest.raises(ShardExhaustedError):
+        serve_sharded(
+            _table(points),
+            batch,
+            n_shards=2,
+            chunk_size=128,
+            manager_kwargs={"max_k": MAX_K},
+            policy=SupervisionPolicy(max_retries=0, backoff_base=0.01),
+            worker_faults=faults,
+            admission=admission,
+            strict=True,
+        )
+    assert admission.pending == 0
