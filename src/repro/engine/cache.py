@@ -15,7 +15,12 @@ Two properties make it safe to sit under the planner:
   :class:`~repro.index.mutable_quadtree.MutableQuadtree` mutates, every
   cached entry stops matching — no flush coordination with the
   staleness machinery is needed (stale entries age out of the LRU).
-  Re-registering a table purges its entries eagerly.
+  Re-registering a table purges its entries eagerly.  When the index
+  keeps a generation-keyed update log, the statistics manager narrows
+  this with :meth:`EstimateCache.revalidate`: entries in cells no dirty
+  region touched are re-keyed to the new generation instead of being
+  orphaned, so a localized insert no longer evicts estimates for
+  untouched regions.
 * **It is opt-in and approximate.**  Queries that share a cell share an
   estimate, so a cache hit can return the estimate computed for a
   *nearby* focal point.  The engine keeps the cache off by default
@@ -169,6 +174,84 @@ class EstimateCache:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+    def revalidate(
+        self,
+        table: str,
+        old_generation: int,
+        new_generation: int,
+        dirty_rects,
+        bounds,
+    ) -> tuple[int, int]:
+        """Carry untouched-cell entries across a generation bump.
+
+        Structural invalidation (the generation inside the key) makes a
+        single localized insert orphan *every* cached estimate for the
+        table.  When the index can report which regions actually changed
+        (a generation-keyed update log), the manager calls this instead:
+        entries of ``(table, old_generation)`` whose quantized cell
+        intersects no dirty region are re-keyed to ``new_generation`` in
+        place — preserving their LRU position — and only entries in
+        touched cells are dropped.
+
+        Carrying is within the cache's approximate contract (queries
+        sharing a cell already share an estimate): a carried value is
+        the estimate computed before the mutation, which for cells away
+        from every dirty region is the same catalog interpolation the
+        rebuilt estimator would produce, up to the maintenance coverage
+        radius the cell grid does not model.  Exactness-critical callers
+        keep the cache disabled, as before.
+
+        Args:
+            table: Registered table name.
+            old_generation: Generation the candidate entries are keyed
+                by (entries at other generations are left untouched).
+            new_generation: The index's current generation.
+            dirty_rects: Iterable of ``(x_min, y_min, x_max, y_max)``
+                mutated regions (coalesced dirty log).
+            bounds: The table's indexed bounds (``Rect``-like) — must be
+                the same bounds the keys were quantized against.
+
+        Returns:
+            ``(carried, dropped)`` entry counts.
+        """
+        old_generation = int(old_generation)
+        new_generation = int(new_generation)
+        if new_generation == old_generation:
+            return (0, 0)
+        ranges = []
+        for rect in dirty_rects:
+            x_min, y_min, x_max, y_max = (float(v) for v in rect)
+            ranges.append(
+                (
+                    self._axis_cell(x_min, bounds.x_min, bounds.x_max),
+                    self._axis_cell(x_max, bounds.x_min, bounds.x_max),
+                    self._axis_cell(y_min, bounds.y_min, bounds.y_max),
+                    self._axis_cell(y_max, bounds.y_min, bounds.y_max),
+                )
+            )
+        carried = 0
+        dropped = 0
+        rebuilt: OrderedDict[CacheKey, float] = OrderedDict()
+        for key, value in self._entries.items():
+            if key[0] != table or key[1] != old_generation:
+                rebuilt[key] = value
+                continue
+            cx, cy = key[2], key[3]
+            if any(
+                cx0 <= cx <= cx1 and cy0 <= cy <= cy1
+                for cx0, cx1, cy0, cy1 in ranges
+            ):
+                dropped += 1
+                continue
+            new_key = (table, new_generation, cx, cy, key[4])
+            if new_key in rebuilt:
+                dropped += 1  # a fresher entry already owns the new key
+                continue
+            rebuilt[new_key] = value
+            carried += 1
+        self._entries = rebuilt
+        return (carried, dropped)
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (e.g. between benchmark phases)."""

@@ -185,6 +185,12 @@ class StatisticsManager:
             if estimate_cache_size
             else None
         )
+        #: Per-table generation the estimate cache was last synced at.
+        self._cache_generations: dict[str, int] = {}
+        #: Entries carried across generation bumps by log-driven
+        #: revalidation (vs. dropped because their cell was touched).
+        self.cache_entries_carried = 0
+        self.cache_entries_dropped = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -214,6 +220,7 @@ class StatisticsManager:
         }
         if self.estimate_cache is not None:
             self.estimate_cache.invalidate(table.name)
+        self._cache_generations.pop(table.name, None)
 
     def table(self, name: str) -> SpatialTable:
         """Look up a registered relation.
@@ -269,6 +276,12 @@ class StatisticsManager:
             del self._snapshots[name]
             cached = None
         if cached is None:
+            # Any generation bump reached this snapshot: sync the
+            # estimate cache over the same generation range before the
+            # regather, so dependent cached estimates for untouched
+            # regions survive (log-driven revalidation) instead of
+            # being orphaned wholesale by the new generation.
+            self._sync_cache_generation(name, table, current)
             cached = self._snapshots[name] = IndexSnapshot.from_index(table.index)
         return cached
 
@@ -434,6 +447,39 @@ class StatisticsManager:
     # ------------------------------------------------------------------
     # Cache-aware estimation: the planner's select-cost entry points
     # ------------------------------------------------------------------
+    def _sync_cache_generation(self, name: str, table, generation: int) -> None:
+        """Move the table's cached estimates to ``generation``.
+
+        Generation-ranged invalidation: when the table's index keeps a
+        generation-keyed update log, entries in cells no dirty region
+        touched are re-keyed to the new generation (a localized insert
+        no longer evicts estimates for untouched regions); entries in
+        touched cells are dropped.  Without a log — or when the log's
+        history was pruned past our watermark — the table's entries are
+        dropped wholesale, which is the pre-existing structural
+        behavior.
+        """
+        cache = self.estimate_cache
+        if cache is None:
+            return
+        known = self._cache_generations.get(name)
+        if known is None or known == generation:
+            self._cache_generations[name] = generation
+            return
+        index = table.index
+        getter = getattr(index, "dirty_region_items_since", None)
+        floor = getattr(index, "log_floor", None)
+        if getter is None or floor is None or known < floor:
+            self.cache_entries_dropped += cache.invalidate(name)
+        else:
+            dirty_bounds, __ = getter(known)
+            carried, dropped = cache.revalidate(
+                name, known, generation, dirty_bounds, index.bounds
+            )
+            self.cache_entries_carried += carried
+            self.cache_entries_dropped += dropped
+        self._cache_generations[name] = generation
+
     def estimate_select_cost(
         self, name: str, estimator: SelectCostEstimator, query: Point, k: int
     ) -> tuple[float, bool | None]:
@@ -449,6 +495,7 @@ class StatisticsManager:
             return estimator.estimate(query, k), None
         table = self.table(name)
         generation = int(getattr(table.index, "data_generation", 0))
+        self._sync_cache_generation(name, table, generation)
         key = cache.key(name, generation, query.x, query.y, k, table.index.bounds)
         cached = cache.get(key)
         if cached is not None:
@@ -489,6 +536,7 @@ class StatisticsManager:
             return costs, None, outcomes
         table = self.table(name)
         generation = int(getattr(table.index, "data_generation", 0))
+        self._sync_cache_generation(name, table, generation)
         keys = cache.keys_for(name, generation, pts, ks, table.index.bounds)
         m = pts.shape[0]
         costs = np.empty(m, dtype=float)

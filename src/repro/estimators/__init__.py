@@ -22,7 +22,12 @@ from repro.estimators.base import SelectCostEstimator, JoinCostEstimator
 from repro.estimators.density import DensityBasedEstimator
 from repro.estimators.uniform_model import UniformModelEstimator
 from repro.estimators.staircase import StaircaseEstimator, build_select_catalog
-from repro.estimators.maintenance import MaintainedStaircaseEstimator
+from repro.estimators.maintenance import (
+    MaintainedCatalogMergeEstimator,
+    MaintainedStaircaseEstimator,
+    MaintainedVirtualGridEstimator,
+    MaintenanceReport,
+)
 from repro.estimators.block_sample import BlockSampleEstimator, sample_block_indices
 from repro.estimators.catalog_merge import CatalogMergeEstimator
 from repro.estimators.virtual_grid import VirtualGridEstimator, BoundVirtualGridEstimator
@@ -34,6 +39,9 @@ __all__ = [
     "UniformModelEstimator",
     "StaircaseEstimator",
     "MaintainedStaircaseEstimator",
+    "MaintainedCatalogMergeEstimator",
+    "MaintainedVirtualGridEstimator",
+    "MaintenanceReport",
     "build_select_catalog",
     "BlockSampleEstimator",
     "sample_block_indices",

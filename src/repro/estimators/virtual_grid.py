@@ -82,6 +82,7 @@ class VirtualGridEstimator:
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         self._workers = resolve_workers(workers)
+        self._max_k = max_k
         inner_snap = as_snapshot(inner)
         if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
@@ -99,23 +100,34 @@ class VirtualGridEstimator:
                 IntervalCatalog.from_profile(p, max_k=max_k).truncated(max_k)
                 for p in profiles
             ]
-            # Padded matrices for one-shot vectorized lookup across all
-            # cells (padding with max_k keeps searchsorted semantics).
-            max_entries = max(c.n_entries for c in self._cell_catalogs)
-            n_cells = len(self._cell_catalogs)
-            self._k_end_matrix = np.full((n_cells, max_entries), max_k, dtype=np.int64)
-            self._cost_matrix = np.zeros((n_cells, max_entries))
-            for i, catalog in enumerate(self._cell_catalogs):
-                n = catalog.n_entries
-                self._k_end_matrix[i, :n] = catalog.k_ends
-                self._cost_matrix[i, :n] = catalog.costs
-                self._cost_matrix[i, n:] = catalog.costs[-1]
+            self._assemble_matrices()
+        n_cells = len(self._cell_catalogs)
         stats.anchors_total = n_cells
         stats.anchors_unique = n_cells
         stats.profiles_computed = n_cells
         self.preprocessing_seconds = time.perf_counter() - start
         stats.wall_seconds = self.preprocessing_seconds
         self.preprocessing_stats = stats
+
+    def _assemble_matrices(self) -> None:
+        """(Re)build the padded lookup matrices from the cell catalogs.
+
+        Padded matrices give one-shot vectorized lookup across all cells
+        (padding with ``max_k`` keeps searchsorted semantics).  Called at
+        construction and again by the maintained subclass whenever a
+        partial rebuild replaces some cell catalogs.
+        """
+        max_entries = max(c.n_entries for c in self._cell_catalogs)
+        n_cells = len(self._cell_catalogs)
+        self._k_end_matrix = np.full(
+            (n_cells, max_entries), self._max_k, dtype=np.int64
+        )
+        self._cost_matrix = np.zeros((n_cells, max_entries))
+        for i, catalog in enumerate(self._cell_catalogs):
+            n = catalog.n_entries
+            self._k_end_matrix[i, :n] = catalog.k_ends
+            self._cost_matrix[i, :n] = catalog.costs
+            self._cost_matrix[i, n:] = catalog.costs[-1]
 
     # ------------------------------------------------------------------
     # Estimation (Section 4.3.2)

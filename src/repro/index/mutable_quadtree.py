@@ -1,11 +1,33 @@
-"""A mutable PR quadtree with update tracking.
+"""A mutable PR quadtree with generation-keyed update tracking.
 
 The paper's catalogs are built once over a static index; a deployed
 system must also survive inserts and deletes.  ``MutableQuadtree``
 supports point insertion and deletion with the standard PR-quadtree
 split/merge rules and records which leaf *regions* changed — the hook
-:class:`~repro.estimators.maintenance.MaintainedStaircaseEstimator`
-uses to refresh exactly the affected catalogs.
+the maintained estimators of :mod:`repro.estimators.maintenance` use to
+refresh exactly the affected catalogs.
+
+Change tracking is **generation-keyed and coalesced**: every mutation
+bumps the monotone :attr:`data_generation`, and the tree keeps two
+append-only logs keyed by region bounds —
+
+* the *dirty log* maps each touched leaf region to the generation of
+  its latest mutation (repeated mutations of one region coalesce into
+  one entry, so the log is bounded by the number of distinct regions,
+  not the number of mutations);
+* the *dead log* maps each region that stopped being a leaf (a split
+  parent, merged children) to the generation of its death, so
+  region-keyed consumers can evict exactly the catalogs whose key no
+  longer names a live leaf.
+
+Consumers hold private generation watermarks and ask
+:meth:`dirty_region_items_since` / :meth:`dead_region_items_since` for
+everything after their watermark; :meth:`prune_logs` (and the
+back-compat :meth:`clear_dirty`) advances :attr:`log_floor`, below
+which history is discarded — a consumer whose watermark predates the
+floor must treat everything as dirty (that conservative fallback is
+what fixes the old watermark-desync bug, where an external
+``clear_dirty()`` silently marked mutated leaves clean forever).
 
 Blocks are materialized lazily: the mutable tree keeps per-leaf Python
 lists for O(1) appends and converts to the immutable
@@ -85,7 +107,12 @@ class MutableQuadtree(SpatialIndex):
         self._root = _MutNode(self._bounds, 0)
         self._n_points = 0
         self._blocks_cache: list[Block] | None = None
-        self._dirty_regions: list[Rect] = []
+        #: region bounds -> generation of the region's latest mutation.
+        self._dirty_log: dict[tuple[float, float, float, float], int] = {}
+        #: region bounds -> generation at which the region stopped being
+        #: a leaf (split parents, merged children).
+        self._dead_log: dict[tuple[float, float, float, float], int] = {}
+        self._log_floor = 0
         self._mutations_since_clear = 0
         self._data_generation = 0
         for x, y in pts:
@@ -109,13 +136,30 @@ class MutableQuadtree(SpatialIndex):
         leaf.points_list.append((x, y))
         self._n_points += 1
         affected = leaf.rect
+        # Note the change *before* splitting so the split's dead-region
+        # entries carry this mutation's (already bumped) generation.
+        self._note_change(affected)
         if len(leaf.points_list) > self._capacity and leaf.depth < self._max_depth:
             self._split(leaf)
-        self._note_change(affected)
         return affected
 
     def delete(self, x: float, y: float) -> bool:
-        """Delete one occurrence of the point; returns whether it existed."""
+        """Delete one occurrence of the point; returns whether it existed.
+
+        Merge semantics (pinned by ``tests/test_index_mutable_quadtree``):
+        after the removal, parents along the leaf's root path are
+        examined bottom-up, and a parent absorbs its children only when
+        **all four children are leaves** and the parent's subtree holds
+        at most ``capacity // 2`` points.  Two corollaries:
+
+        * a parent with any *internal* child never merges, which stops
+          the cascade at the first mixed leaf/internal level (a higher
+          ancestor can still merge later, once deeper deletes have
+          collapsed its subtrees into leaves one level at a time);
+        * with ``capacity == 1`` the threshold is ``1 // 2 == 0``, so a
+          non-empty parent can never merge — only deleting the last
+          point of a subtree collapses it.
+        """
         p = Point(x, y)
         if not self._bounds.contains_point(p):
             return False
@@ -136,11 +180,12 @@ class MutableQuadtree(SpatialIndex):
                 parent.subtree_count() <= self._capacity // 2
             ):
                 merged: list[tuple[float, float]] = []
+                self._note_change(parent.rect)
                 for child in parent.children:
                     merged.extend(child.points_list)
+                    self._record_death(child.rect)
                 parent._children = []
                 parent.points_list = merged
-                self._note_change(parent.rect)
             else:
                 break
         return True
@@ -158,6 +203,9 @@ class MutableQuadtree(SpatialIndex):
         return node.children[(0 if p.x < cx else 1) + (0 if p.y < cy else 2)]
 
     def _split(self, leaf: _MutNode) -> None:
+        # The leaf's region stops being a leaf region: record its death
+        # so region-keyed catalog caches can evict their entry.
+        self._record_death(leaf.rect)
         children = [_MutNode(q, leaf.depth + 1) for q in leaf.rect.quadrants()]
         cx = (leaf.rect.x_min + leaf.rect.x_max) / 2.0
         cy = (leaf.rect.y_min + leaf.rect.y_max) / 2.0
@@ -173,17 +221,36 @@ class MutableQuadtree(SpatialIndex):
 
     def _note_change(self, region: Rect) -> None:
         self._blocks_cache = None
-        self._dirty_regions.append(region)
-        self._mutations_since_clear += 1
         self._data_generation += 1
+        self._dirty_log[region.as_tuple()] = self._data_generation
+        self._mutations_since_clear += 1
+
+    def _record_death(self, region: Rect) -> None:
+        """Log that ``region`` stopped being a leaf (split or merge).
+
+        Deaths share the generation of the mutation that caused them
+        (``_note_change`` runs first), so any consumer whose watermark
+        predates the mutation observes the death too.  A region can be
+        reborn later (a merge recreating a split parent); the death
+        entry keeps the *latest* death generation, and consumers compare
+        it against their per-region build watermark: an entry rebuilt
+        after the rebirth is newer than the death and survives.
+        """
+        self._dead_log[region.as_tuple()] = self._data_generation
 
     # ------------------------------------------------------------------
     # Update tracking
     # ------------------------------------------------------------------
     @property
     def dirty_regions(self) -> tuple[Rect, ...]:
-        """Leaf regions touched since the last :meth:`clear_dirty`."""
-        return tuple(self._dirty_regions)
+        """Distinct leaf regions touched since the last :meth:`clear_dirty`.
+
+        Coalesced: a region mutated many times appears once, so the
+        tuple's size is bounded by the number of distinct touched
+        regions (the old per-mutation list grew without bound between
+        refreshes).
+        """
+        return tuple(Rect(*bounds) for bounds in self._dirty_log)
 
     @property
     def mutations_since_clear(self) -> int:
@@ -201,9 +268,103 @@ class MutableQuadtree(SpatialIndex):
         """
         return self._data_generation
 
+    @property
+    def log_floor(self) -> int:
+        """Generation below which dirty/dead history has been pruned.
+
+        ``dirty_region_items_since(g)`` / ``dead_region_items_since(g)``
+        can only answer for watermarks ``g >= log_floor``; a consumer
+        holding an older watermark must treat its whole cache as dirty.
+        """
+        return self._log_floor
+
+    def dirty_region_items_since(
+        self, generation: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Regions mutated after ``generation``, with their generations.
+
+        Args:
+            generation: A consumer watermark (a past
+                :attr:`data_generation` value), at least
+                :attr:`log_floor`.
+
+        Returns:
+            ``(bounds, generations)`` — an ``(m, 4)`` float array of
+            region bounds and the matching ``(m,)`` int64 array of each
+            region's *latest* mutation generation, for every logged
+            region whose latest mutation is newer than ``generation``.
+
+        Raises:
+            ValueError: If ``generation`` predates :attr:`log_floor`
+                (the history needed to answer has been pruned).
+        """
+        generation = int(generation)
+        if generation < self._log_floor:
+            raise ValueError(
+                f"dirty history before generation {self._log_floor} has "
+                f"been pruned; cannot answer since {generation}"
+            )
+        items = [(b, g) for b, g in self._dirty_log.items() if g > generation]
+        if not items:
+            return np.empty((0, 4), dtype=float), np.empty(0, dtype=np.int64)
+        bounds = np.array([b for b, __ in items], dtype=float)
+        gens = np.array([g for __, g in items], dtype=np.int64)
+        return bounds, gens
+
+    def dead_region_items_since(
+        self, generation: int
+    ) -> list[tuple[tuple[float, float, float, float], int]]:
+        """Regions that stopped being leaves after ``generation``.
+
+        Returns ``(bounds, death_generation)`` pairs; see
+        :meth:`dirty_region_items_since` for watermark semantics.
+
+        Raises:
+            ValueError: If ``generation`` predates :attr:`log_floor`.
+        """
+        generation = int(generation)
+        if generation < self._log_floor:
+            raise ValueError(
+                f"dead-region history before generation {self._log_floor} "
+                f"has been pruned; cannot answer since {generation}"
+            )
+        return [(b, g) for b, g in self._dead_log.items() if g > generation]
+
+    def prune_logs(self, before_generation: int | None = None) -> None:
+        """Discard dirty/dead history up to ``before_generation``.
+
+        Bounds the logs' memory under sustained churn once every
+        consumer's watermark has advanced past ``before_generation``
+        (defaults to the current generation, i.e. drop everything).
+        Raises :attr:`log_floor`; consumers with older watermarks fall
+        back to treating their whole cache as dirty.
+        """
+        cutoff = (
+            self._data_generation
+            if before_generation is None
+            else min(int(before_generation), self._data_generation)
+        )
+        if cutoff <= self._log_floor:
+            return
+        self._dirty_log = {
+            b: g for b, g in self._dirty_log.items() if g > cutoff
+        }
+        self._dead_log = {b: g for b, g in self._dead_log.items() if g > cutoff}
+        self._log_floor = cutoff
+
     def clear_dirty(self) -> None:
-        """Forget tracked changes (after statistics refresh)."""
-        self._dirty_regions = []
+        """Forget tracked changes (after statistics refresh).
+
+        Prunes the whole dirty/dead history (advancing
+        :attr:`log_floor` to the current generation) and resets
+        :attr:`mutations_since_clear`.  :attr:`data_generation` is never
+        reset, and generation-watermarked consumers stay *correct*
+        across an external clear — their watermark drops below the new
+        floor, which reads as "everything dirty", a conservative rebuild
+        rather than the silent stale-cache of the old index-based
+        watermarks.
+        """
+        self.prune_logs()
         self._mutations_since_clear = 0
 
     # ------------------------------------------------------------------

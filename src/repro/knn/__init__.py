@@ -27,6 +27,7 @@ from repro.knn.distance_browsing import (
 from repro.knn.depth_first import depth_first_knn
 from repro.knn.locality import (
     locality_block_indices,
+    locality_coverage_radii,
     locality_size,
     locality_size_profile,
     locality_sizes,
@@ -46,6 +47,7 @@ __all__ = [
     "brute_force_knn",
     "depth_first_knn",
     "locality_block_indices",
+    "locality_coverage_radii",
     "locality_size",
     "locality_size_profile",
     "locality_sizes",

@@ -167,6 +167,64 @@ def locality_sizes(inner, outer_rects, k: int) -> np.ndarray:
     return sizes
 
 
+def locality_coverage_radii(inner, outer_rects, max_k: int) -> np.ndarray:
+    """Mutation-visibility radius of each outer block's locality profile.
+
+    For one outer block, the locality staircase up to ``max_k`` is
+    computed from MINDIST-order prefixes ending no later than the first
+    block whose cumulative count reaches ``max_k``; every quantity it
+    reads (prefix membership, running-MAXDIST marks, and the
+    ``MINDIST <= mark`` prefix counts) concerns only inner blocks with
+    ``MINDIST <= C`` where ``C`` is the running-MAXDIST at that first
+    count-reaching block.  Therefore mutations confined to regions with
+    ``MINDIST(outer, region) > C`` leave
+    :func:`locality_size_profile` — and any catalog derived from it —
+    bit-for-bit unchanged.  The maintained join estimators use this to
+    skip re-deriving temporaries whose coverage disc missed every dirty
+    region.
+
+    Args:
+        inner: Block summary of the inner relation.
+        outer_rects: ``(m, 4)`` array of outer block bounds.
+        max_k: Largest k the derived profiles must cover.
+
+    Returns:
+        ``(m,)`` float array of radii; ``inf`` where the inner relation
+        holds fewer than ``max_k`` points (every block participates, so
+        any mutation anywhere may be visible).
+
+    Raises:
+        ValueError: If ``max_k < 1``.
+    """
+    if max_k < 1:
+        raise ValueError(f"max_k must be >= 1, got {max_k}")
+    snap = as_snapshot(inner)
+    outer_rects = np.asarray(outer_rects, dtype=float).reshape(-1, 4)
+    m = outer_rects.shape[0]
+    n = snap.n_blocks
+    out = np.full(m, np.inf, dtype=float)
+    if n == 0 or m == 0:
+        return out
+    # Chunk the (m, n) tableau so memory stays bounded for large fleets
+    # of outer blocks (mirrors the slab size used in perf.parallel).
+    slab = 256
+    for start in range(0, m, slab):
+        chunk = outer_rects[start : start + slab]
+        mindists = mindist_rects_batch(chunk, snap.rects)
+        maxdists = maxdist_rects_batch(chunk, snap.rects)
+        order = np.argsort(mindists, axis=1, kind="stable")
+        cum_counts = np.cumsum(snap.counts[order], axis=1)
+        running_max = np.maximum.accumulate(
+            np.take_along_axis(maxdists, order, axis=1), axis=1
+        )
+        first_enough = (cum_counts < max_k).sum(axis=1)
+        reachable = first_enough < n
+        if np.any(reachable):
+            rows = np.nonzero(reachable)[0]
+            out[start + rows] = running_max[rows, first_enough[rows]]
+    return out
+
+
 def locality_size_profile(
     inner, outer_rect, max_k: int
 ) -> list[tuple[int, int, int]]:

@@ -1,5 +1,11 @@
-"""Query workload generation and evaluation metrics."""
+"""Query workload generation, churn replay, and evaluation metrics."""
 
+from repro.workloads.churn import (
+    ChurnPhase,
+    ChurnReport,
+    churn_phases,
+    run_churn,
+)
 from repro.workloads.queries import (
     QueryBatch,
     SelectQuery,
@@ -19,6 +25,10 @@ from repro.workloads.metrics import (
 )
 
 __all__ = [
+    "ChurnPhase",
+    "ChurnReport",
+    "churn_phases",
+    "run_churn",
     "QueryBatch",
     "SelectQuery",
     "ServingReport",

@@ -5,9 +5,10 @@ Two layers: :class:`~repro.engine.cache.EstimateCache` in isolation
 under :class:`~repro.engine.stats.StatisticsManager` / the planner —
 replay hits, scalar/batch hit-miss parity, and the load-bearing
 invalidation property: a :class:`MutableQuadtree` data-generation bump
-makes every prior entry unmatchable under *both* staleness policies,
-because the generation sits inside the key rather than in any flush
-coordination.
+drops entries whose quantized cell a dirty region touched and carries
+the rest to the new generation (log-driven revalidation), under *both*
+staleness policies; without an update log the bump still orphans every
+prior entry structurally.
 """
 
 from __future__ import annotations
@@ -117,6 +118,53 @@ class TestEstimateCacheUnit:
         cache.put(cache.key("b", 0, 1.0, 1.0, 1, BOUNDS), 2.0)
         assert cache.invalidate() == 2
         assert len(cache) == 0
+
+    def test_revalidate_carries_untouched_and_drops_touched(self):
+        cache = EstimateCache(8, cells=10)
+        touched = cache.key("t", 0, 5.0, 5.0, 1, BOUNDS)  # cell (0, 0)
+        safe = cache.key("t", 0, 95.0, 95.0, 1, BOUNDS)  # cell (9, 9)
+        other = cache.key("u", 0, 5.0, 5.0, 1, BOUNDS)  # other table
+        cache.put(touched, 1.0)
+        cache.put(safe, 2.0)
+        cache.put(other, 3.0)
+        carried, dropped = cache.revalidate(
+            "t", 0, 5, [(0.0, 0.0, 12.0, 12.0)], BOUNDS
+        )
+        assert (carried, dropped) == (1, 1)
+        assert cache.get(cache.key("t", 5, 95.0, 95.0, 1, BOUNDS)) == 2.0
+        assert cache.get(cache.key("t", 5, 5.0, 5.0, 1, BOUNDS)) is None
+        assert cache.get(cache.key("t", 0, 5.0, 5.0, 1, BOUNDS)) is None
+        # Other tables are untouched at their original generation.
+        assert cache.get(other) == 3.0
+
+    def test_revalidate_same_generation_is_noop(self):
+        cache = EstimateCache(8)
+        key = cache.key("t", 3, 1.0, 1.0, 1, BOUNDS)
+        cache.put(key, 1.0)
+        assert cache.revalidate("t", 3, 3, [(0, 0, 100, 100)], BOUNDS) == (0, 0)
+        assert cache.get(key) == 1.0
+
+    def test_revalidate_collision_keeps_existing_key(self):
+        cache = EstimateCache(8, cells=10)
+        old = cache.key("t", 0, 95.0, 95.0, 1, BOUNDS)
+        fresh = cache.key("t", 5, 95.0, 95.0, 1, BOUNDS)
+        cache.put(fresh, 2.0)  # already recomputed at the new generation
+        cache.put(old, 1.0)
+        carried, dropped = cache.revalidate("t", 0, 5, [], BOUNDS)
+        assert (carried, dropped) == (0, 1)
+        assert cache.get(fresh) == 2.0  # the fresher value wins
+
+    def test_revalidate_preserves_lru_order(self):
+        cache = EstimateCache(2, cells=10)
+        a = cache.key("t", 0, 15.0, 15.0, 1, BOUNDS)
+        b = cache.key("t", 0, 95.0, 95.0, 1, BOUNDS)
+        cache.put(a, 1.0)
+        cache.put(b, 2.0)
+        cache.get(a)  # a is now most recently used
+        cache.revalidate("t", 0, 5, [], BOUNDS)
+        cache.put(cache.key("t", 5, 55.0, 55.0, 1, BOUNDS), 3.0)  # evicts LRU
+        assert cache.get(cache.key("t", 5, 95.0, 95.0, 1, BOUNDS)) is None
+        assert cache.get(cache.key("t", 5, 15.0, 15.0, 1, BOUNDS)) == 1.0
 
     def test_describe_mentions_occupancy_and_rate(self):
         cache = EstimateCache(4)
@@ -251,13 +299,23 @@ def test_generation_bump_invalidates(osm_points, policy):
     assert stats.estimate_cache.hits == hits_before + len(queries)
 
     tree.insert(50.0, 50.0)
+    # Generation-ranged invalidation: the one dirty leaf region maps to
+    # a handful of touched cells; entries elsewhere are re-keyed to the
+    # new generation and keep hitting, instead of the pre-PR wholesale
+    # orphaning of every key.
     hits_at_bump = stats.estimate_cache.hits
     results = plan_select_batch(stats, queries)
-    # The generation advanced, so every key stops matching: zero new
-    # hits regardless of how the staleness policy treats the catalogs.
-    assert stats.estimate_cache.hits == hits_at_bump
-    for __, explanation in results:
-        assert explanation.cache_hit is False
-    # And the re-estimated entries are themselves replayable.
+    carried_hits = stats.estimate_cache.hits - hits_at_bump
+    assert stats.cache_entries_carried > 0
+    assert carried_hits > 0
+    hit_flags = [explanation.cache_hit for __, explanation in results]
+    assert sum(hit_flags) == carried_hits
+    # A query inside the mutated leaf must NOT be served a carried
+    # entry (its cell intersects the dirty region).
+    hits_now = stats.estimate_cache.hits
+    plan_select(stats, KnnSelectQuery("m", Point(50.0, 50.0), k=5))
+    assert stats.estimate_cache.hits == hits_now
+    # And the post-bump entries are themselves replayable.
+    hits_now = stats.estimate_cache.hits
     plan_select_batch(stats, queries)
-    assert stats.estimate_cache.hits == hits_at_bump + len(queries)
+    assert stats.estimate_cache.hits == hits_now + len(queries)

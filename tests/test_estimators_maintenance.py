@@ -128,6 +128,83 @@ class TestValidation:
         assert maintained.estimate(Point(-5.0, -5.0), 4) >= 1.0
 
 
+class TestStaleTrackingRegressions:
+    """Regression tests for the two stale-tracking bugs this PR fixes."""
+
+    def test_dead_leaf_catalogs_evicted(self):
+        """Splits and merges kill leaf regions; their cached catalogs
+        must be evicted, not leaked (pre-fix, dead keys accumulated
+        forever and could even serve a query whose focal point re-landed
+        in a recreated region of the same bounds)."""
+        tree, __, __rng = build(n=200, capacity=8)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=16, staleness_threshold=1.0
+        )
+        maintained.refresh_incremental()  # cache every live leaf
+        rng = np.random.default_rng(2)
+        # Dense pile in one corner forces splits (old leaf dies); then
+        # delete the pile to force merges (children die).
+        pile = [
+            (float(5 + rng.uniform(0, 2)), float(5 + rng.uniform(0, 2)))
+            for __ in range(100)
+        ]
+        for x, y in pile:
+            tree.insert(x, y)
+        maintained.refresh_incremental()
+        live = {
+            tuple(float(v) for v in leaf.rect.as_tuple()) for leaf in tree.leaves
+        }
+        assert set(maintained.catalog_entries()) <= live
+        for x, y in pile:
+            tree.delete(x, y)
+        maintained.refresh_incremental()
+        live = {
+            tuple(float(v) for v in leaf.rect.as_tuple()) for leaf in tree.leaves
+        }
+        assert set(maintained.catalog_entries()) <= live
+        assert maintained.evictions > 0
+
+    def test_external_clear_dirty_does_not_serve_stale(self):
+        """An external ``clear_dirty()`` prunes the update log past the
+        estimator's watermark.  Pre-fix the estimator treated 'no log
+        entries' as 'nothing changed' and kept serving dead catalogs;
+        now it detects the pruned history and conservatively drops its
+        cache, so the next estimate is rebuilt fresh."""
+        tree, __, __rng = build(n=500, capacity=16)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=16, staleness_threshold=1.0
+        )
+        q = Point(50.0, 50.0)
+        maintained.estimate(q, 8)  # warm the leaf
+        tree.clear_dirty()  # external log pruning, e.g. another consumer
+        rng = np.random.default_rng(4)
+        for __ in range(30):
+            tree.insert(
+                float(50 + rng.normal() * 0.3), float(50 + rng.normal() * 0.3)
+            )
+        tree.clear_dirty()  # prune again: the mutations left no log
+        got = maintained.estimate(q, 8)
+        fresh = StaircaseEstimator(tree, aux_index=tree, max_k=16)
+        assert got == fresh.estimate(q, 8)
+
+    def test_estimator_never_consumes_the_log(self):
+        """Maintenance must read the update log without truncating it —
+        other consumers (engine cache revalidation) share it."""
+        tree, __, __rng = build(n=300, capacity=16)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=16, staleness_threshold=1.0
+        )
+        maintained.refresh_incremental()
+        floor_before = tree.log_floor
+        tree.insert(10.0, 10.0)
+        generation = tree.data_generation
+        maintained.refresh_incremental()
+        maintained.estimate(Point(10.0, 10.0), 4)
+        assert tree.log_floor == floor_before
+        bounds, gens = tree.dirty_region_items_since(generation - 1)
+        assert bounds.shape[0] >= 1  # the insert is still in the log
+
+
 class TestDriftQuantified:
     def test_error_drops_after_refresh(self):
         """With a large staleness budget, accumulated updates degrade

@@ -114,6 +114,148 @@ class TestDirtyTracking:
         assert tree.mutations_since_clear == 0
 
 
+class TestGenerationLog:
+    def test_bulk_load_generation_and_empty_log(self):
+        tree, __ = fresh_tree(n=50)
+        assert tree.data_generation == 50
+        # Bulk load is "clean": the floor starts at the load generation,
+        # so consumers can only watermark from the loaded state forward.
+        assert tree.log_floor == tree.data_generation
+        bounds, gens = tree.dirty_region_items_since(tree.data_generation)
+        assert bounds.shape == (0, 4)
+        assert gens.shape == (0,)
+        assert tree.dead_region_items_since(tree.data_generation) == []
+
+    def test_dirty_log_records_mutated_regions(self):
+        tree, pts = fresh_tree(n=50)
+        watermark = tree.data_generation
+        region = tree.insert(10.0, 10.0)
+        bounds, gens = tree.dirty_region_items_since(watermark)
+        assert bounds.shape[0] >= 1
+        assert (gens > watermark).all()
+        # The insert's region is in the log, coalesced by bounds.
+        keys = {tuple(row) for row in bounds}
+        assert tuple(float(v) for v in region.as_tuple()) in keys
+
+    def test_dirty_log_keeps_latest_generation_per_region(self):
+        tree, __ = fresh_tree(n=50)
+        watermark = tree.data_generation
+        tree.insert(10.0, 10.0)
+        gen_between = tree.data_generation
+        tree.insert(10.0, 10.0)  # same leaf, later generation
+        bounds, gens = tree.dirty_region_items_since(gen_between)
+        # The coalesced entry carries the *latest* mutation generation,
+        # so it is still visible to a consumer at gen_between.
+        assert bounds.shape[0] >= 1
+        assert gens.max() == tree.data_generation
+
+    def test_dead_log_records_split_parent(self):
+        tree = MutableQuadtree(bounds=Rect(0, 0, 10, 10), capacity=2)
+        tree.insert(1.0, 1.0)
+        watermark = tree.data_generation
+        old_leaf = tree.leaf_for(Point(1.0, 1.0)).rect.as_tuple()
+        # Overflow the leaf: it splits and stops being a leaf region.
+        tree.insert(1.1, 1.1)
+        tree.insert(1.2, 1.2)
+        dead = tree.dead_region_items_since(watermark)
+        assert any(b == tuple(float(v) for v in old_leaf) for b, __ in dead)
+        assert all(g > watermark for __, g in dead)
+
+    def test_prune_raises_floor_and_old_watermarks_error(self):
+        tree, __ = fresh_tree(n=50)
+        watermark = tree.data_generation
+        tree.insert(10.0, 10.0)
+        tree.prune_logs()
+        assert tree.log_floor == tree.data_generation
+        with pytest.raises(ValueError, match="pruned"):
+            tree.dirty_region_items_since(watermark)
+        with pytest.raises(ValueError, match="pruned"):
+            tree.dead_region_items_since(watermark)
+        # At-floor watermarks still answer (emptily, post-prune).
+        bounds, __ = tree.dirty_region_items_since(tree.log_floor)
+        assert bounds.shape[0] == 0
+
+    def test_partial_prune_keeps_newer_history(self):
+        tree, __ = fresh_tree(n=50)
+        tree.insert(10.0, 10.0)
+        mid = tree.data_generation
+        tree.insert(90.0, 90.0)
+        tree.prune_logs(before_generation=mid)
+        assert tree.log_floor == mid
+        bounds, gens = tree.dirty_region_items_since(mid)
+        assert bounds.shape[0] >= 1
+        assert (gens > mid).all()
+
+    def test_clear_dirty_prunes_but_keeps_generation(self):
+        tree, __ = fresh_tree(n=20)
+        tree.insert(1.0, 1.0)
+        generation = tree.data_generation
+        tree.clear_dirty()
+        assert tree.data_generation == generation  # never reset
+        assert tree.log_floor == generation
+
+
+class TestMergeEdgeCases:
+    def test_capacity_one_never_merges(self):
+        """``capacity // 2 == 0`` at capacity=1: the underflow threshold
+        is zero, so a non-empty subtree can never merge — the structure
+        only shrinks by emptying leaves, never by collapsing them.
+        (``num_blocks`` counts non-empty leaves, so the structural claim
+        is on ``tree.leaves``.)"""
+        tree = MutableQuadtree(bounds=Rect(0, 0, 8, 8), capacity=1)
+        pts = [(1.0, 1.0), (7.0, 1.0), (1.0, 7.0), (7.0, 7.0), (3.0, 3.0)]
+        for x, y in pts:
+            tree.insert(x, y)
+        leaves_split = len(tree.leaves)
+        assert leaves_split > 1
+        for x, y in pts[1:]:
+            assert tree.delete(x, y)
+        assert tree.num_points == 1
+        # No merge happened: every split leaf survives, now empty.
+        assert len(tree.leaves) == leaves_split
+        assert tree.num_blocks == 1  # only the survivor's leaf is non-empty
+
+    def test_cascaded_merge_collapses_to_root(self):
+        """Deleting a deep pile cascades merges up the whole path."""
+        tree = MutableQuadtree(bounds=Rect(0, 0, 16, 16), capacity=4)
+        rng = np.random.default_rng(6)
+        pile = [
+            (float(rng.uniform(0.0, 0.5)), float(rng.uniform(0.0, 0.5)))
+            for __ in range(30)
+        ]
+        for x, y in pile:
+            tree.insert(x, y)
+        assert tree.num_blocks > 1  # deep split chain
+        for x, y in pile[:-1]:
+            assert tree.delete(x, y)
+        assert tree.num_points == 1
+        assert tree.num_blocks == 1  # cascade collapsed back to the root
+
+    def test_merge_skipped_when_sibling_is_internal(self):
+        """A parent with an internal child never merges, even if the
+        total point count is under the threshold's reach — only
+        all-leaf parents collapse."""
+        tree = MutableQuadtree(bounds=Rect(0, 0, 16, 16), capacity=4)
+        # Deep pile in one quadrant keeps that child internal.
+        pile = [(0.1 + 0.01 * i, 0.1 + 0.01 * i) for i in range(12)]
+        for x, y in pile:
+            tree.insert(x, y)
+        # A few points elsewhere, then delete them to trigger underflow
+        # checks on their parents.
+        extras = [(15.0, 15.0), (15.0, 1.0), (1.0, 15.0)]
+        for x, y in extras:
+            tree.insert(x, y)
+        for x, y in extras:
+            assert tree.delete(x, y)
+        assert tree.num_points == len(pile)
+        # The deep quadrant's structure survived (still multiple leaves).
+        assert tree.num_blocks > 1
+        # And every pile point is still findable.
+        for x, y in pile:
+            leaf = tree.leaf_for(Point(x, y))
+            assert leaf.rect.contains_point(Point(x, y))
+
+
 class TestAsKnnSubstrate:
     def test_knn_after_mutations(self):
         tree, pts = fresh_tree(n=400, capacity=16)

@@ -1,0 +1,230 @@
+"""Acceptance suite: incremental maintenance is bit-for-bit exact.
+
+The maintenance layer's contract is that after arbitrary insert/delete
+churn, every catalog it kept *or* rebuilt is byte-identical to the one
+a from-scratch estimator would build over the mutated index — reuse is
+an optimization, never an approximation.  These tests drive randomized
+seeded churn through all three maintained estimators and compare
+against fresh builds:
+
+* :class:`MaintainedStaircaseEstimator` vs a fresh
+  :class:`StaircaseEstimator` — per-leaf center and corner catalogs,
+  keyed by leaf bounds.
+* :class:`MaintainedCatalogMergeEstimator` vs a fresh
+  :class:`CatalogMergeEstimator` — the merged catalog and the scale.
+* :class:`MaintainedVirtualGridEstimator` vs a fresh
+  :class:`VirtualGridEstimator` — every grid-cell catalog.
+
+Each scenario also asserts reuse actually happened under localized
+churn (otherwise "incremental" silently degrades to full rebuilds,
+which is the regression the churn bench guards against at scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    CatalogMergeEstimator,
+    MaintainedCatalogMergeEstimator,
+    MaintainedStaircaseEstimator,
+    MaintainedVirtualGridEstimator,
+    StaircaseEstimator,
+    VirtualGridEstimator,
+)
+from repro.geometry import Point, Rect
+from repro.index import MutableQuadtree
+from repro.index.snapshot import partition_bounds
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def make_tree(n=1_500, seed=0, capacity=32) -> tuple[MutableQuadtree, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, 100.0, size=(n, 2))
+    return MutableQuadtree(pts, bounds=BOUNDS, capacity=capacity), pts
+
+
+def apply_churn(tree: MutableQuadtree, rng, *, inserts: int, deletes: int,
+                center=(50.0, 50.0), sigma=30.0) -> None:
+    """Randomized churn: Gaussian inserts around ``center``, deletes of
+    random points sampled from the live blocks."""
+    for __ in range(inserts):
+        x = float(np.clip(rng.normal(center[0], sigma), 0.0, 100.0))
+        y = float(np.clip(rng.normal(center[1], sigma), 0.0, 100.0))
+        tree.insert(x, y)
+    for __ in range(deletes):
+        blocks = [b for b in tree.blocks if len(b.points) > 0]
+        if not blocks:
+            break
+        block = blocks[int(rng.integers(len(blocks)))]
+        victim = block.points[int(rng.integers(len(block.points)))]
+        tree.delete(float(victim[0]), float(victim[1]))
+
+
+def staircase_catalogs_by_rect(estimator: StaircaseEstimator) -> dict:
+    rects = partition_bounds(estimator._aux)
+    return {
+        tuple(float(v) for v in rects[i]): (
+            estimator._center_catalogs[i],
+            estimator._corner_catalogs[i],
+        )
+        for i in range(rects.shape[0])
+    }
+
+
+class TestStaircaseEquivalence:
+    @pytest.mark.parametrize("capacity", [1, 4, 32])
+    def test_catalogs_identical_after_churn(self, capacity):
+        tree, __ = make_tree(n=400 if capacity == 1 else 1_000, capacity=capacity)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=32, staleness_threshold=1.0
+        )
+        maintained.refresh_incremental()
+        rng = np.random.default_rng(42)
+        for round_ in range(3):
+            apply_churn(
+                tree, rng, inserts=40, deletes=20,
+                center=(20.0 + 30.0 * round_, 50.0), sigma=8.0,
+            )
+            maintained.refresh_incremental()
+            fresh = StaircaseEstimator(tree, aux_index=tree, max_k=32)
+            expected = staircase_catalogs_by_rect(fresh)
+            got = maintained.catalog_entries()
+            assert set(got) == set(expected)
+            for key, (center, corners) in got.items():
+                assert center == expected[key][0], key
+                assert corners == expected[key][1], key
+
+    def test_reuse_happens_under_localized_churn(self):
+        tree, __ = make_tree(n=2_000, capacity=16)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=16, staleness_threshold=1.0
+        )
+        maintained.refresh_incremental()
+        rng = np.random.default_rng(3)
+        apply_churn(tree, rng, inserts=15, deletes=0, center=(10.0, 10.0), sigma=1.0)
+        report = maintained.refresh_incremental()
+        assert report.mode == "incremental"
+        assert report.catalogs_reused > 0
+        assert report.catalogs_rebuilt + report.catalogs_reused == report.catalogs_total
+        assert 0.0 < report.rebuild_ratio < 1.0
+
+    def test_full_flag_rebuilds_everything(self):
+        tree, __ = make_tree(n=500, capacity=16)
+        maintained = MaintainedStaircaseEstimator(tree, max_k=16)
+        report = maintained.refresh_incremental(full=True)
+        assert report.mode == "full"
+        assert report.catalogs_reused == 0
+        assert report.catalogs_rebuilt == report.catalogs_total
+
+    def test_lazy_estimate_path_matches_fresh(self):
+        tree, __ = make_tree(n=1_200, capacity=32)
+        maintained = MaintainedStaircaseEstimator(
+            tree, max_k=32, staleness_threshold=1.0
+        )
+        rng = np.random.default_rng(9)
+        queries = [
+            Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            for __ in range(25)
+        ]
+        for q in queries:
+            maintained.estimate(q, 8)  # warm some leaves lazily
+        apply_churn(tree, rng, inserts=30, deletes=15, center=(70.0, 30.0), sigma=5.0)
+        fresh = StaircaseEstimator(tree, aux_index=tree, max_k=32)
+        for q in queries:
+            k = int(rng.integers(1, 33))
+            assert maintained.estimate(q, k) == fresh.estimate(q, k)
+
+
+class TestCatalogMergeEquivalence:
+    def test_merged_catalog_identical_after_churn(self):
+        outer_tree, __ = make_tree(n=800, seed=1, capacity=32)
+        inner_tree, __ = make_tree(n=1_200, seed=2, capacity=32)
+        maintained = MaintainedCatalogMergeEstimator(
+            outer_tree, inner_tree, sample_size=50, max_k=32
+        )
+        rng = np.random.default_rng(17)
+        for round_ in range(3):
+            apply_churn(
+                inner_tree, rng, inserts=30, deletes=15,
+                center=(25.0 * (round_ + 1), 40.0), sigma=6.0,
+            )
+            report = maintained.refresh()
+            fresh = CatalogMergeEstimator(
+                outer_tree, inner_tree, sample_size=50, max_k=32
+            )
+            assert maintained.catalog == fresh.catalog
+            assert maintained.estimate(16) == fresh.estimate(16)
+            assert report.catalogs_rebuilt + report.catalogs_reused == report.catalogs_total
+
+    def test_temporaries_reused_under_localized_churn(self):
+        outer_tree, __ = make_tree(n=800, seed=1, capacity=32)
+        inner_tree, __ = make_tree(n=1_500, seed=2, capacity=16)
+        maintained = MaintainedCatalogMergeEstimator(
+            outer_tree, inner_tree, sample_size=60, max_k=8
+        )
+        rng = np.random.default_rng(23)
+        apply_churn(inner_tree, rng, inserts=10, deletes=0,
+                    center=(5.0, 95.0), sigma=1.0)
+        report = maintained.refresh()
+        assert report.catalogs_reused > 0
+
+    def test_outer_churn_refreshes_sample(self):
+        outer_tree, __ = make_tree(n=600, seed=4, capacity=32)
+        inner_tree, __ = make_tree(n=900, seed=5, capacity=32)
+        maintained = MaintainedCatalogMergeEstimator(
+            outer_tree, inner_tree, sample_size=40, max_k=16
+        )
+        rng = np.random.default_rng(31)
+        apply_churn(outer_tree, rng, inserts=50, deletes=25)
+        estimate = maintained.estimate(8)  # auto-refresh on outer churn
+        fresh = CatalogMergeEstimator(
+            outer_tree, inner_tree, sample_size=40, max_k=16
+        )
+        assert estimate == fresh.estimate(8)
+        assert maintained.catalog == fresh.catalog
+
+
+class TestVirtualGridEquivalence:
+    def test_cell_catalogs_identical_after_churn(self):
+        inner_tree, __ = make_tree(n=1_200, seed=6, capacity=32)
+        maintained = MaintainedVirtualGridEstimator(
+            inner_tree, BOUNDS, grid_size=8, max_k=32
+        )
+        rng = np.random.default_rng(13)
+        for round_ in range(3):
+            apply_churn(
+                inner_tree, rng, inserts=30, deletes=15,
+                center=(30.0, 25.0 * (round_ + 1)), sigma=6.0,
+            )
+            report = maintained.refresh()
+            fresh = VirtualGridEstimator(inner_tree, BOUNDS, grid_size=8, max_k=32)
+            for i in range(8 * 8):
+                assert maintained.cell_catalog(i) == fresh.cell_catalog(i), i
+            assert report.catalogs_total == 8 * 8
+            assert report.catalogs_rebuilt + report.catalogs_reused == report.catalogs_total
+
+    def test_cells_reused_under_localized_churn(self):
+        inner_tree, __ = make_tree(n=1_500, seed=8, capacity=16)
+        maintained = MaintainedVirtualGridEstimator(
+            inner_tree, BOUNDS, grid_size=8, max_k=8
+        )
+        rng = np.random.default_rng(19)
+        apply_churn(inner_tree, rng, inserts=10, deletes=0,
+                    center=(90.0, 90.0), sigma=1.0)
+        report = maintained.refresh()
+        assert report.catalogs_reused > 0
+
+    def test_estimate_auto_refreshes_and_matches_fresh(self):
+        inner_tree, __ = make_tree(n=900, seed=10, capacity=32)
+        outer_tree, __ = make_tree(n=500, seed=11, capacity=32)
+        maintained = MaintainedVirtualGridEstimator(
+            inner_tree, BOUNDS, grid_size=4, max_k=16
+        )
+        rng = np.random.default_rng(29)
+        apply_churn(inner_tree, rng, inserts=40, deletes=20)
+        estimate = maintained.estimate(outer_tree, 8)
+        fresh = VirtualGridEstimator(inner_tree, BOUNDS, grid_size=4, max_k=16)
+        assert estimate == fresh.estimate(outer_tree, 8)
