@@ -13,6 +13,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.geometry.kernels import interval_gather
+
 
 class CatalogLookupError(KeyError):
     """Raised when a lookup falls outside the catalog's supported k range.
@@ -133,8 +135,9 @@ class IntervalCatalog:
             raise CatalogLookupError(
                 f"k={k} exceeds the catalog's supported maximum {self.max_k}"
             )
-        idx = np.searchsorted(self._k_end, ks, side="left")
-        return self._cost[idx]
+        # The range gather is kernel-backed (numpy searchsorted or the
+        # numba bisect loop — integer-exact either way).
+        return interval_gather(self._k_end, self._cost, ks)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -31,6 +31,7 @@ import numpy as np
 from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.table import SpatialTable
 from repro.geometry import Point, Rect, mindist_point_rect, mindist_points_rects
+from repro.geometry.kernels import tie_stable_argsort
 from repro.knn.locality import locality_block_indices
 
 
@@ -184,7 +185,10 @@ def execute_incremental_knn_batch(
         ]
     pts = np.array([[q.query.x, q.query.y] for q in queries], dtype=float)
     tableau = mindist_points_rects(pts, snapshot.rects)
-    order = np.argsort(tableau, axis=1, kind="stable")
+    # Tie-corrected so the scan sequence (and hence equal-distance row
+    # emission order) matches the canonical layout's regardless of the
+    # snapshot's physical row order.
+    order = tie_stable_argsort(tableau, getattr(snapshot, "tie_order", None))
     counts = snapshot.counts
     starts = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=starts[1:])

@@ -37,6 +37,7 @@ from repro.engine.physical import (
 from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.stats import StatisticsManager
 from repro.geometry import Point
+from repro.geometry.backends import active_backend
 
 #: Number of outer rows sampled when costing per-point-selects.
 SELECT_COST_SAMPLE = 32
@@ -65,6 +66,9 @@ class PlanExplanation:
             statistics manager's estimate cache — ``None`` when the
             cache is disabled (the default) or the plan needed no
             select estimate.
+        kernel_backend: Name of the geometry kernel backend active when
+            the plan was costed (``"numpy"`` or ``"numba"``; "" when
+            the plan needed no kernel work).
     """
 
     chosen: str
@@ -76,6 +80,7 @@ class PlanExplanation:
     notes: list[str] = field(default_factory=list)
     preprocessing: dict[str, float] = field(default_factory=dict)
     cache_hit: bool | None = None
+    kernel_backend: str = ""
 
     def cost_of(self, operator: str) -> float:
         """Estimated cost of one alternative.
@@ -95,6 +100,8 @@ class PlanExplanation:
             lines.append(f"  estimator: {self.estimator_tier} ({status})")
         if self.cache_hit is not None:
             lines.append(f"  estimate cache: {'hit' if self.cache_hit else 'miss'}")
+        if self.kernel_backend:
+            lines.append(f"  kernel backend: {self.kernel_backend}")
         if self.preprocessing:
             wall = self.preprocessing.get("wall_seconds", 0.0)
             deduped = int(self.preprocessing.get("anchors_deduped", 0))
@@ -205,6 +212,7 @@ def _assemble_select_explanation(
         alternatives=alternatives,
         effective_k=effective_k,
         selectivity=sigma,
+        kernel_backend=active_backend(),
     )
     # Ties resolve toward the earlier entry; the full scan's sequential
     # pattern beats random-access browsing at equal block counts, and

@@ -77,10 +77,14 @@ class BlockSampleEstimator(JoinCostEstimator):
         inner,
         sample_size: int = 400,
     ) -> None:
-        inner_snap = as_snapshot(inner)
+        # Canonical row order: the sample indexes outer rows positionally
+        # and the tableau's stable argsort breaks ties by row, so a
+        # physically reordered (e.g. Hilbert-layout) snapshot must be
+        # viewed canonically to keep estimates bit-identical.
+        inner_snap = as_snapshot(inner).canonical()
         if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
-        outer_snap = as_snapshot(outer)
+        outer_snap = as_snapshot(outer).canonical()
         self._n_outer = outer_snap.n_blocks
         if self._n_outer == 0:
             raise ValueError("cannot estimate joins over an empty outer relation")

@@ -66,10 +66,14 @@ class CatalogMergeEstimator(JoinCostEstimator):
         if max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         self._workers = resolve_workers(workers)
-        inner_snap = as_snapshot(inner)
+        # Canonical row order: the outer sample indexes rows positionally,
+        # so a physically reordered snapshot must be viewed canonically
+        # for the sampled rects (and the merged catalog) to be layout-
+        # independent.
+        inner_snap = as_snapshot(inner).canonical()
         if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
-        outer_snap = as_snapshot(outer)
+        outer_snap = as_snapshot(outer).canonical()
         n_outer = outer_snap.n_blocks
         if n_outer == 0:
             raise ValueError("cannot estimate joins over an empty outer relation")

@@ -42,7 +42,7 @@ from repro.estimators.base import (
     validate_k,
 )
 from repro.geometry import Point
-from repro.geometry.kernels import as_anchor, mindist_rects_batch
+from repro.geometry.kernels import as_anchor, mindist_rects_batch, tie_stable_argsort
 from repro.index.snapshot import IndexSnapshot, as_snapshot
 from repro.resilience.guards import require_valid_ks
 
@@ -114,7 +114,9 @@ class DensityBasedEstimator(SelectCostEstimator):
         snap = self._snapshot
         n = snap.n_blocks
         mindists = mindist_rects_batch(queries, snap.rects)
-        order = np.argsort(mindists, axis=1, kind="stable")
+        # Tie-corrected so the scan sequence matches the canonical
+        # layout's whatever the snapshot's physical row order.
+        order = tie_stable_argsort(mindists, snap.tie_order)
         sorted_min = np.take_along_axis(mindists, order, axis=1)
         d_k, stop = self._dk_tableau(sorted_min, snap.counts[order], snap.areas[order], k)
         rows = np.arange(m)

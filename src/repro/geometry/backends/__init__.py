@@ -1,0 +1,140 @@
+"""Pluggable compiled kernel backends for the geometry hot path.
+
+The kernels in :mod:`repro.geometry.kernels` are a *dispatch layer*:
+they validate shapes/dtypes once and forward the raw array computation
+to the active backend registered here.  Two backends exist:
+
+* ``numpy`` — the reference implementation, always available.  Its
+  ufunc chains define the bit pattern every other backend must match.
+* ``numba`` — ``@njit``-compiled loop kernels, available only when the
+  optional :mod:`numba` package is importable.  Its distance kernels
+  call :func:`math.hypot`, which numba lowers to the C library's
+  ``hypot`` — the same libm routine :func:`numpy.hypot` wraps — so the
+  outputs are bitwise identical to the numpy backend (asserted by
+  ``tests/test_kernel_backends.py``).
+
+Selection rules
+---------------
+At import time the registry picks ``numba`` when importable, else
+``numpy``.  The ``REPRO_KERNEL_BACKEND`` environment variable overrides
+the choice: ``numpy`` forces the reference path, ``numba`` requests the
+compiled path but **degrades silently to numpy** when numba is absent
+(so numpy-only environments never fail), and any other value emits a
+``RuntimeWarning`` and falls back to numpy — a config typo must not
+crash every entry point at import time.  :func:`set_backend` applies
+the same availability rules at runtime but raises ``ValueError`` on
+unknown names (programmatic misuse should fail loudly); worker
+processes call it with the coordinator's choice so a fleet never mixes
+backends by accident.
+
+The active backend's name is surfaced through
+:class:`~repro.engine.planner.PlanExplanation` and the CLI's
+``estimate`` output.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from types import ModuleType
+
+from repro.geometry.backends import numpy_backend
+
+_BACKENDS: dict[str, ModuleType] = {"numpy": numpy_backend}
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from repro.geometry.backends import numba_backend
+
+    _BACKENDS["numba"] = numba_backend
+except ImportError:  # numba not installed: the numpy reference serves
+    numba_backend = None
+
+#: Names a backend request may use, whether or not currently available.
+_KNOWN = ("numpy", "numba")
+
+_active: ModuleType = _BACKENDS["numpy"]
+_active_name: str = "numpy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends importable in this environment."""
+    return tuple(name for name in _KNOWN if name in _BACKENDS)
+
+
+def active_backend() -> str:
+    """Name of the backend the kernels currently dispatch to."""
+    return _active_name
+
+
+def active() -> ModuleType:
+    """The active backend module (the kernels' dispatch target)."""
+    return _active
+
+
+def get_backend(name: str) -> ModuleType:
+    """Return a backend module by name.
+
+    Raises:
+        ValueError: If ``name`` is not a known backend, or is known but
+            unavailable in this environment.
+    """
+    if name not in _KNOWN:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known backends: {_KNOWN}"
+        )
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"kernel backend {name!r} is not available in this environment "
+            f"(available: {available_backends()})"
+        )
+    return _BACKENDS[name]
+
+
+def set_backend(name: str) -> str:
+    """Activate a backend by name; returns the name actually activated.
+
+    ``numba`` degrades *silently* to ``numpy`` when numba is not
+    importable — the documented contract that lets one configuration
+    (an env var, a shipped coordinator choice) serve both compiled and
+    numpy-only environments.  Unknown names raise ``ValueError``.
+    """
+    global _active, _active_name
+    if name not in _KNOWN:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known backends: {_KNOWN}"
+        )
+    if name not in _BACKENDS:
+        name = "numpy"  # silent degradation: numba requested but absent
+    _active = _BACKENDS[name]
+    _active_name = name
+    return name
+
+
+def _select_at_import() -> None:
+    """Apply the import-time selection rules (module docstring)."""
+    requested = os.environ.get("REPRO_KERNEL_BACKEND", "").strip().lower()
+    if requested and requested not in _KNOWN:
+        warnings.warn(
+            f"ignoring unknown REPRO_KERNEL_BACKEND={requested!r} "
+            f"(known backends: {_KNOWN}); using 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        requested = "numpy"
+    if requested:
+        set_backend(requested)
+    elif "numba" in _BACKENDS:
+        set_backend("numba")
+    else:
+        set_backend("numpy")
+
+
+_select_at_import()
+
+__all__ = [
+    "active",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+]

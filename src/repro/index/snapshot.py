@@ -57,18 +57,28 @@ class IndexSnapshot:
 
     Attributes:
         rects: ``(n, 4)`` block bounds ``(x_min, y_min, x_max, y_max)``,
-            ordered by ``block_ids``.
+            ordered by ``block_ids`` in the canonical layout.
         counts: ``(n,)`` per-block point counts (non-negative int64).
         centers: ``(n, 2)`` block center coordinates.
         block_ids: ``(n,)`` dense block identifiers (the source index's
             ``Block.block_id`` values; ``arange(n)`` for array-built
-            snapshots).
+            snapshots).  Whatever the physical ``layout``, row ``i``
+            always summarizes block ``block_ids[i]`` — consumers that
+            pair snapshot rows with index structures must map through
+            this column, never assume row position == block id.
         data_generation: The source index's mutation counter at gather
             time (0 for immutable indexes) — the cache-invalidation key.
         source: Class name of the source index (``"arrays"`` when built
             directly from arrays).
         bounds: The source index's universe as a 4-tuple, or ``None``.
         capacity: The source index's leaf capacity, or ``None``.
+        layout: Physical row-order tag: ``"canonical"`` (ascending
+            ``block_ids``, the gather order) or the name of a
+            cache-aware permutation applied by :meth:`with_layout`
+            (e.g. ``"hilbert"``).  A non-canonical layout changes
+            *memory order only*: every consumer recovers the canonical
+            tie-break sequence through :attr:`tie_order`, so results
+            are bit-identical whatever the layout.
 
     All arrays are read-only; derived per-block ``areas`` and
     ``diagonals`` are computed once at construction.
@@ -82,6 +92,7 @@ class IndexSnapshot:
     source: str = "arrays"
     bounds: tuple[float, float, float, float] | None = None
     capacity: int | None = None
+    layout: str = "canonical"
     areas: np.ndarray = field(init=False, repr=False)
     diagonals: np.ndarray = field(init=False, repr=False)
 
@@ -166,6 +177,102 @@ class IndexSnapshot:
         return cls(rects=rects, counts=counts, centers=centers, block_ids=block_ids, **metadata)
 
     # ------------------------------------------------------------------
+    # Physical layout
+    # ------------------------------------------------------------------
+    def with_layout(self, order: np.ndarray, name: str = "hilbert") -> "IndexSnapshot":
+        """Physically reorder the snapshot's rows by a permutation.
+
+        Applies ``order`` to every per-block column (rects, counts,
+        centers, block_ids — areas/diagonals are re-derived, which is
+        elementwise and therefore bit-identical to permuting them).
+        The ``block_ids`` contract is preserved: row ``i`` of the
+        result summarizes block ``order[i]``'s summary, carrying its
+        id.  Consumers recover canonical tie-break/first-hit semantics
+        through :attr:`tie_order`, so a relayouted snapshot answers
+        every query bit-identically — only the memory-access pattern
+        changes (the point: cache-aware layouts like
+        :func:`~repro.geometry.hilbert.hilbert_order` make
+        MINDIST-ordered walks touch near-contiguous rows).
+
+        Args:
+            order: ``(n_blocks,)`` permutation of row indices.
+            name: Layout tag recorded on the result.
+
+        Raises:
+            ValueError: If ``order`` is not a permutation of the rows,
+                or the snapshot is already non-canonical (re-layouting
+                a layout would corrupt :meth:`canonical`'s inverse).
+        """
+        if self.layout != "canonical":
+            raise ValueError(
+                f"cannot re-layout a {self.layout!r}-layout snapshot; "
+                "call .canonical() first"
+            )
+        order = np.asarray(order, dtype=np.int64).reshape(-1)
+        n = self.n_blocks
+        if order.shape[0] != n or not np.array_equal(
+            np.sort(order), np.arange(n, dtype=np.int64)
+        ):
+            raise ValueError(
+                f"layout order must be a permutation of {n} rows, "
+                f"got shape {order.shape}"
+            )
+        return IndexSnapshot(
+            rects=self.rects[order],
+            counts=self.counts[order],
+            centers=self.centers[order],
+            block_ids=self.block_ids[order],
+            data_generation=self.data_generation,
+            source=self.source,
+            bounds=self.bounds,
+            capacity=self.capacity,
+            layout=str(name),
+        )
+
+    def canonical(self) -> "IndexSnapshot":
+        """The snapshot in canonical (ascending ``block_ids``) order.
+
+        Returns ``self`` when already canonical.  Build-time consumers
+        whose outputs depend on row *position* — catalog construction,
+        order-sensitive float reductions — canonicalize at their
+        boundary so byte-identical artifacts come out whatever layout
+        the serving tier runs.
+        """
+        if self.layout == "canonical":
+            return self
+        order = self.tie_order
+        return IndexSnapshot(
+            rects=self.rects[order],
+            counts=self.counts[order],
+            centers=self.centers[order],
+            block_ids=self.block_ids[order],
+            data_generation=self.data_generation,
+            source=self.source,
+            bounds=self.bounds,
+            capacity=self.capacity,
+            layout="canonical",
+        )
+
+    @property
+    def tie_order(self) -> np.ndarray | None:
+        """Permutation restoring canonical order, or ``None`` if canonical.
+
+        ``rects[tie_order]`` is ascending-``block_ids`` order — exactly
+        the canonical gather order, since canonical snapshots carry
+        ``block_ids == arange(n)``.  Sorting kernels take this to
+        reproduce canonical tie-breaks on any physical layout (see the
+        *tie-break contract* in :mod:`repro.geometry.kernels`).
+        Computed once and cached.
+        """
+        if self.layout == "canonical":
+            return None
+        cached = self.__dict__.get("_tie_order_cache")
+        if cached is None:
+            cached = _readonly(np.argsort(self.block_ids, kind="stable"))
+            object.__setattr__(self, "_tie_order_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------
     @property
@@ -194,8 +301,13 @@ class IndexSnapshot:
         return maxdist_rects(anchor, self.rects)
 
     def mindist_order(self, anchor) -> tuple[np.ndarray, np.ndarray]:
-        """Stable MINDIST ordering ``(order, sorted mindists)``."""
-        return mindist_argsort(anchor, self.rects)
+        """Stable MINDIST ordering ``(order, sorted mindists)``.
+
+        Ties resolve in block-id order on every layout: a reordered
+        snapshot passes its :attr:`tie_order` so the visiting sequence
+        (as block ids) is identical to the canonical layout's.
+        """
+        return mindist_argsort(anchor, self.rects, tie_order=self.tie_order)
 
     def overlapping(self, region) -> np.ndarray:
         """Indices of blocks whose extent intersects ``region``."""
@@ -210,6 +322,12 @@ class IndexSnapshot:
         the universe, or inside it but covered by no block, map to
         ``-1`` rather than raising — batch callers partition misses to a
         fallback path instead of failing the whole batch.
+
+        First-hit semantics are layout-independent: when several block
+        rects contain a point (possible on overlapping substrates like
+        the R-tree), the winner is the one the *canonical* row order
+        would pick, whatever the physical layout — the returned value
+        is that block's physical row index.
         """
         pts = np.asarray(points, dtype=float).reshape(-1, 2)
         bounds = self.bounds
@@ -222,7 +340,15 @@ class IndexSnapshot:
                 float(self.rects[:, 2].max()),
                 float(self.rects[:, 3].max()),
             )
-        return leaf_ids_for_points(self.rects, pts[:, 0], pts[:, 1], bounds)
+        p = self.tie_order
+        if p is None:
+            return leaf_ids_for_points(self.rects, pts[:, 0], pts[:, 1], bounds)
+        # Resolve first-hit in canonical order, then map the winning
+        # canonical row back to its physical position.
+        rows = leaf_ids_for_points(self.rects[p], pts[:, 0], pts[:, 1], bounds)
+        hit = rows >= 0
+        rows[hit] = p[rows[hit]]
+        return rows
 
     # ------------------------------------------------------------------
     # Bookkeeping

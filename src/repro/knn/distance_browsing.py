@@ -85,7 +85,9 @@ class DistanceBrowser:
                     f"snapshot summarizes {snapshot.n_blocks} blocks but the "
                     f"index holds {len(blocks)} — stale snapshot?"
                 )
-            order, mindists = mindist_argsort((query.x, query.y), snapshot.rects)
+            order, mindists = mindist_argsort(
+                (query.x, query.y), snapshot.rects, tie_order=snapshot.tie_order
+            )
             # Ascending (mindist, counter, block) tuples: already a heap.
             self._block_queue = [
                 (float(d), next(self._counter), blocks[int(snapshot.block_ids[i])])
@@ -275,11 +277,20 @@ def select_cost_profile(
         # block container (repro.perf.BlockPointsView) may answer the
         # gather in one batched call; the values are elementwise
         # identical to the per-block path.
+        # ``order`` indexes snapshot *rows*; the summary's ``block_ids``
+        # map rows to positions in ``blocks``, so a physically reordered
+        # snapshot (Hilbert layout) still reads the right blocks.  The
+        # profile itself is tie-invariant — equal-MINDIST blocks share
+        # every threshold they could straddle — so no tie correction of
+        # the row order is needed for layout parity.
+        block_pos = snap.block_ids[order]
         gather = getattr(blocks, "gathered_distances", None)
         if gather is not None:
-            dists = gather(order, query)
+            dists = gather(block_pos, query)
         else:
-            dists = np.concatenate([blocks[i].distances_from(query) for i in order])
+            dists = np.concatenate(
+                [blocks[int(i)].distances_from(query) for i in block_pos]
+            )
             dists.sort(kind="stable")
         # Threshold after scanning block i is the next block's MINDIST.
         thresholds = np.empty(prefix, dtype=float)

@@ -60,6 +60,7 @@ from repro.geometry.kernels import (
     maxdist_rects_batch,
     mindist_argsort,
     mindist_rects_batch,
+    tie_stable_argsort,
 )
 from repro.index.snapshot import IndexSnapshot, as_snapshot
 
@@ -85,8 +86,11 @@ def locality_block_indices(inner, outer_rect, k: int) -> np.ndarray:
         k: The join's k.
 
     Returns:
-        Block indices in MINDIST order.  When the inner relation holds
-        fewer than ``k`` points, every inner block is in the locality.
+        Block indices in MINDIST order, expressed as positions in the
+        underlying index's block list (the snapshot's ``block_ids``), so
+        the result is independent of the snapshot's physical layout.
+        When the inner relation holds fewer than ``k`` points, every
+        inner block is in the locality.
 
     Raises:
         ValueError: If ``k < 1``.
@@ -97,18 +101,18 @@ def locality_block_indices(inner, outer_rect, k: int) -> np.ndarray:
     if snap.n_blocks == 0:
         return np.empty(0, dtype=np.int64)
     anchor = _outer_anchor(outer_rect)
-    order, mindists = mindist_argsort(anchor, snap.rects)
+    order, mindists = mindist_argsort(anchor, snap.rects, tie_order=snap.tie_order)
     counts = snap.counts[order]
     cumulative = np.cumsum(counts)
     first_enough = int(np.searchsorted(cumulative, k, side="left"))
     if first_enough >= order.shape[0]:
-        return order  # fewer than k inner points: everything qualifies
+        return snap.block_ids[order]  # fewer than k inner points
     maxdists = maxdist_rects(anchor, snap.rects)[order]
     marked = float(maxdists[: first_enough + 1].max())
     # Scanning continues until a block of MINDIST > marked appears, so
     # the locality is the prefix with MINDIST <= marked.
     size = int(np.searchsorted(mindists, marked, side="right"))
-    return order[:size]
+    return snap.block_ids[order[:size]]
 
 
 def locality_size(inner, outer_rect, k: int) -> int:
@@ -145,7 +149,7 @@ def locality_sizes(inner, outer_rects, k: int) -> np.ndarray:
         return np.zeros(m, dtype=np.int64)
     mindists = mindist_rects_batch(outer_rects, snap.rects)
     maxdists = maxdist_rects_batch(outer_rects, snap.rects)
-    order = np.argsort(mindists, axis=1, kind="stable")
+    order = tie_stable_argsort(mindists, snap.tie_order)
     rows = np.arange(m)[:, None]
     sorted_min = np.take_along_axis(mindists, order, axis=1)
     cum_counts = np.cumsum(snap.counts[order], axis=1)
@@ -212,7 +216,7 @@ def locality_coverage_radii(inner, outer_rects, max_k: int) -> np.ndarray:
         chunk = outer_rects[start : start + slab]
         mindists = mindist_rects_batch(chunk, snap.rects)
         maxdists = maxdist_rects_batch(chunk, snap.rects)
-        order = np.argsort(mindists, axis=1, kind="stable")
+        order = tie_stable_argsort(mindists, snap.tie_order)
         cum_counts = np.cumsum(snap.counts[order], axis=1)
         running_max = np.maximum.accumulate(
             np.take_along_axis(maxdists, order, axis=1), axis=1
@@ -249,7 +253,7 @@ def locality_size_profile(
     if snap.n_blocks == 0:
         return []
     anchor = _outer_anchor(outer_rect)
-    order, mindists = mindist_argsort(anchor, snap.rects)
+    order, mindists = mindist_argsort(anchor, snap.rects, tie_order=snap.tie_order)
     counts = snap.counts[order]
     maxdists = maxdist_rects(anchor, snap.rects)[order]
     cumulative = np.cumsum(counts)

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry import Point
+from repro.geometry.backends import active_backend, set_backend
 from repro.geometry.kernels import as_anchor, mindist_rects_batch
 from repro.index.snapshot import IndexSnapshot, as_snapshot
 from repro.knn.distance_browsing import select_cost_profile
@@ -165,7 +166,12 @@ def _init_select_worker(
     points: np.ndarray,
     offsets: np.ndarray,
     max_k: int,
+    backend: str = "numpy",
 ) -> None:
+    # Workers follow the parent's kernel backend (spawned interpreters
+    # re-run backend selection from scratch; set_backend silently
+    # degrades to numpy where the compiled backend is unavailable).
+    set_backend(backend)
     _WORKER_STATE["summary"] = snapshot
     _WORKER_STATE["view"] = BlockPointsView(points, offsets)
     _WORKER_STATE["max_k"] = int(max_k)
@@ -211,7 +217,10 @@ def _select_chunk(anchor_coords: list[tuple[float, float]]) -> list[Profile]:
     )
 
 
-def _init_locality_worker(snapshot: IndexSnapshot, max_k: int) -> None:
+def _init_locality_worker(
+    snapshot: IndexSnapshot, max_k: int, backend: str = "numpy"
+) -> None:
+    set_backend(backend)
     _WORKER_STATE["inner"] = snapshot
     _WORKER_STATE["max_k"] = int(max_k)
 
@@ -259,7 +268,7 @@ def select_cost_profiles(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_select_worker,
-        initargs=(summary, view.points, view.offsets, max_k),
+        initargs=(summary, view.points, view.offsets, max_k, active_backend()),
     ) as pool:
         chunk_results = list(pool.map(_select_chunk, chunks))
     return [profile for chunk in chunk_results for profile in chunk]
@@ -296,7 +305,7 @@ def locality_size_profiles(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_locality_worker,
-        initargs=(summary, max_k),
+        initargs=(summary, max_k, active_backend()),
     ) as pool:
         chunk_results = list(pool.map(_locality_chunk, chunks))
     return [profile for chunk in chunk_results for profile in chunk]

@@ -40,7 +40,10 @@ import numpy as np
 from repro.engine.planner import PlanExplanation
 from repro.engine.table import SpatialTable
 from repro.estimators.uniform_model import UniformModelEstimator
+from repro.geometry.backends import active_backend
+from repro.geometry.hilbert import hilbert_order
 from repro.index.snapshot import as_snapshot
+from repro.serving.worker import SHARD_TABLE
 from repro.resilience.errors import ShardExhaustedError
 from repro.resilience.faultinject import WorkerFaultPlan
 from repro.serving.admission import AdmissionController
@@ -212,6 +215,19 @@ class ShardedServingTier:
             shard_plan if shard_plan is not None else plan_shards(snapshot, n_shards)
         )
         self._manager_kwargs = dict(manager_kwargs or {})
+        # Every worker replicates the full relation, so the Hilbert
+        # snapshot layout every replica's statistics manager would
+        # compute is identical across shards — compute the permutation
+        # ONCE here and ship it via the manager configuration, instead
+        # of once per worker process per spawn.
+        if (
+            self._manager_kwargs.get("snapshot_layout", "hilbert") == "hilbert"
+            and "layout_orders" not in self._manager_kwargs
+            and snapshot.n_blocks > 1
+        ):
+            self._manager_kwargs["layout_orders"] = {
+                SHARD_TABLE: hilbert_order(snapshot.centers, snapshot.bounds)
+            }
         capacity = int(table.index.capacity)
         handles = {
             sid: ShardWorkerHandle(
@@ -221,6 +237,7 @@ class ShardedServingTier:
                 self._manager_kwargs,
                 fault_plan=worker_faults,
                 workers=workers_per_shard,
+                backend=active_backend(),
             )
             for sid in range(self.plan.n_shards)
         }

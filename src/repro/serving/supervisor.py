@@ -144,6 +144,7 @@ class ShardWorkerHandle:
         manager_kwargs: dict,
         fault_plan: WorkerFaultPlan | None = None,
         workers: int = 1,
+        backend: str = "numpy",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -154,6 +155,7 @@ class ShardWorkerHandle:
         self._manager_kwargs = dict(manager_kwargs)
         self._fault_plan = fault_plan
         self._workers = int(workers)
+        self._backend = str(backend)
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -172,6 +174,7 @@ class ShardWorkerHandle:
                         self._capacity,
                         self._manager_kwargs,
                         self._fault_plan,
+                        self._backend,
                     ),
                 )
             return self._pool

@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from repro.geometry.backends import set_backend
 from repro.resilience.fallback import budget_check
 from repro.resilience.faultinject import WorkerFaultPlan
 
@@ -48,16 +49,21 @@ def _init_shard_worker(
     capacity: int,
     manager_kwargs: dict,
     fault_plan: WorkerFaultPlan | None,
+    backend: str = "numpy",
 ) -> None:
     """Pool initializer: build the shard's engine replica once.
 
     Runs in the worker process.  The engine (and therefore any catalog
     the statistics manager builds lazily) lives for the process's whole
     incarnation, so repeated chunks amortize the build exactly like a
-    long-lived serving process would.
+    long-lived serving process would.  The coordinator ships its kernel
+    backend name so replicas compute with the same backend (results are
+    bit-identical either way; ``set_backend`` silently degrades to
+    numpy where the compiled backend is unavailable).
     """
     from repro.engine import SpatialEngine, SpatialTable, StatisticsManager
 
+    set_backend(backend)
     engine = SpatialEngine(StatisticsManager(**manager_kwargs))
     engine.register(SpatialTable(SHARD_TABLE, points, capacity=capacity))
     _WORKER_STATE["engine"] = engine

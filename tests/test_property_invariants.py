@@ -5,6 +5,7 @@ properties over randomly generated small worlds, complementing the
 example-based suites.
 """
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -13,6 +14,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from repro.geometry import Point, Rect
 from repro.index import CountIndex, MutableQuadtree, Quadtree
 from repro.knn import (
+    locality_block_indices,
     locality_size,
     locality_size_profile,
     select_cost,
@@ -70,14 +72,37 @@ class TestLocalityProperties:
 
     @settings(max_examples=25, deadline=None)
     @given(small_points, coords, coords, coords, coords)
-    def test_growing_rect_grows_locality(self, pts, x1, y1, x2, y2):
+    def test_locality_answers_knn_for_every_rect_point(self, pts, x1, y1, x2, y2):
+        # The locality contract (Section 4): the MINDIST prefix returned
+        # for an outer block must contain the k nearest neighbors of
+        # EVERY point in it.  (Growth monotonicity in the outer rect
+        # does NOT hold for Procedure 2: the running-MAXDIST mark is
+        # conservative by a rect-dependent margin, so a larger rect can
+        # legitimately need fewer blocks — e.g. when it contains a
+        # >=k-point block whose own MAXDIST undercuts the mark a wide
+        # early-prefix block forced on the smaller rect.)
+        k = 5
         tree = Quadtree(pts, capacity=4)
-        counts = CountIndex.from_index(tree)
-        small = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
-        pad = 5.0
-        big = Rect(small.x_min - pad, small.y_min - pad, small.x_max + pad, small.y_max + pad)
-        # A bigger outer block can only need at least as many blocks.
-        assert locality_size(counts, big, 5) >= locality_size(counts, small, 5)
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        block_ids = locality_block_indices(tree, rect, k)
+        candidates = np.concatenate(
+            [
+                np.asarray(tree.blocks[int(i)].points, dtype=float).reshape(-1, 2)
+                for i in block_ids
+            ]
+        )
+        probes = [
+            (rect.x_min, rect.y_min),
+            (rect.x_min, rect.y_max),
+            (rect.x_max, rect.y_min),
+            (rect.x_max, rect.y_max),
+            ((rect.x_min + rect.x_max) / 2.0, (rect.y_min + rect.y_max) / 2.0),
+        ]
+        kk = min(k, pts.shape[0])
+        for qx, qy in probes:
+            d_all = np.sort(np.hypot(pts[:, 0] - qx, pts[:, 1] - qy))
+            d_loc = np.sort(np.hypot(candidates[:, 0] - qx, candidates[:, 1] - qy))
+            assert np.array_equal(d_loc[:kk], d_all[:kk])
 
 
 class MutableQuadtreeMachine(RuleBasedStateMachine):

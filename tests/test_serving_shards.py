@@ -431,3 +431,51 @@ def test_admission_releases_capacity_after_failures(dataset):
             strict=True,
         )
     assert admission.pending == 0
+
+
+# ----------------------------------------------------------------------
+# Snapshot-layout shipping: the Hilbert permutation is computed once by
+# the coordinator and handed to every shard replica via manager_kwargs,
+# never recomputed per worker spawn.
+# ----------------------------------------------------------------------
+def test_hilbert_order_computed_once_per_tier(dataset, reference, monkeypatch):
+    import repro.serving.coordinator as coordinator
+    from repro.serving.worker import SHARD_TABLE
+
+    calls = {"n": 0}
+    real = coordinator.hilbert_order
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(coordinator, "hilbert_order", counting)
+    points, batch = dataset
+    with ShardedServingTier(
+        _table(points),
+        n_shards=3,
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    ) as tier:
+        assert calls["n"] == 1
+        orders = tier._manager_kwargs["layout_orders"]
+        assert set(orders) == {SHARD_TABLE}
+        n_blocks = tier.table.index.num_blocks
+        assert np.array_equal(np.sort(orders[SHARD_TABLE]), np.arange(n_blocks))
+        report = tier.serve(batch)
+    # Shipping the precomputed order did not change a single answer.
+    assert calls["n"] == 1
+    assert report.n_degraded == 0
+    _assert_exact_matches_reference(report, reference)
+
+
+def test_canonical_layout_skips_order_shipping(dataset):
+    points, __ = dataset
+    with ShardedServingTier(
+        _table(points),
+        n_shards=2,
+        manager_kwargs={"max_k": MAX_K, "snapshot_layout": "canonical"},
+        policy=CHAOS_POLICY,
+    ) as tier:
+        assert "layout_orders" not in tier._manager_kwargs
