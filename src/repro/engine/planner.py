@@ -38,6 +38,11 @@ from repro.engine.queries import KnnJoinQuery, KnnSelectQuery, RangeQuery
 from repro.engine.stats import StatisticsManager
 from repro.geometry import Point
 from repro.geometry.backends import active_backend
+from repro.optimizer.selection import (
+    LinkDecision,
+    PlanAssignment,
+    PlanningContext,
+)
 
 #: Number of outer rows sampled when costing per-point-selects.
 SELECT_COST_SAMPLE = 32
@@ -69,6 +74,12 @@ class PlanExplanation:
         kernel_backend: Name of the geometry kernel backend active when
             the plan was costed (``"numpy"`` or ``"numba"``; "" when
             the plan needed no kernel work).
+        decided_by: Name of the selection-chain link whose decision
+            stood ("" for plans that predate the chain, e.g. degraded
+            shard placeholders).
+        trail: The chain walk's per-link
+            :class:`~repro.optimizer.selection.LinkDecision` records, in
+            chain order — why the plan won, not just its cost.
     """
 
     chosen: str
@@ -81,6 +92,8 @@ class PlanExplanation:
     preprocessing: dict[str, float] = field(default_factory=dict)
     cache_hit: bool | None = None
     kernel_backend: str = ""
+    decided_by: str = ""
+    trail: list[LinkDecision] = field(default_factory=list)
 
     def cost_of(self, operator: str) -> float:
         """Estimated cost of one alternative.
@@ -95,6 +108,10 @@ class PlanExplanation:
         for name, cost in sorted(self.alternatives.items(), key=lambda kv: kv[1]):
             marker = "->" if name == self.chosen else "  "
             lines.append(f"  {marker} {name}: {cost:.1f} blocks")
+        if self.decided_by:
+            lines.append(f"  decided by: {self.decided_by}")
+        for decision in self.trail:
+            lines.append(f"  link {decision.describe()}")
         if self.estimator_tier:
             status = "degraded" if self.degraded else "primary"
             lines.append(f"  estimator: {self.estimator_tier} ({status})")
@@ -143,6 +160,50 @@ def _record_preprocessing(explanation: PlanExplanation, estimator) -> None:
     explanation.preprocessing.update(stats.as_dict())
 
 
+def _estimator_tiers(estimator, default: str) -> tuple[str, ...]:
+    """The estimator's tier vocabulary for the planning context.
+
+    Fallback chains expose ``tier_names`` (primary first); a raw
+    estimator (``fallback=False``) is its primary technique alone.
+    """
+    tiers = getattr(estimator, "tier_names", None)
+    if tiers:
+        return tuple(tiers)
+    return (default,)
+
+
+def _run_chain(
+    stats: StatisticsManager,
+    query,
+    explanation: PlanExplanation,
+    context: PlanningContext,
+) -> PlanAssignment:
+    """Walk the selection chain and copy its verdict onto the explanation.
+
+    Every plan decision — including single-candidate range scans and
+    empty-table trivia — goes through here, so ``decided_by`` and the
+    per-link ``trail`` are uniformly present on every explanation.
+
+    Raises:
+        ValueError: If the chain finished without assigning an operator
+            (a custom chain missing an arbiter link).
+    """
+    assignment = PlanAssignment(estimator_ranking=context.estimator_tiers)
+    assignment = stats.selection_chain.select_physical_operators(
+        query, assignment, context
+    )
+    if assignment.operator is None:
+        raise ValueError(
+            f"selection chain {stats.selection_chain.describe()!r} finished "
+            f"without choosing an operator for kind {context.kind!r}; "
+            "chains must include an arbiter link such as CostBasedSelection"
+        )
+    explanation.chosen = assignment.operator
+    explanation.decided_by = assignment.decided_by
+    explanation.trail = assignment.trail
+    return assignment
+
+
 def plan_select(
     stats: StatisticsManager, query: KnnSelectQuery
 ) -> tuple[FilterThenKnnOperator | IncrementalKnnOperator, PlanExplanation]:
@@ -150,12 +211,7 @@ def plan_select(
     table = stats.table(query.table)
     if table.n_rows == 0:
         # Nothing to scan: either plan is a no-op; pick the trivial scan.
-        explanation = PlanExplanation(
-            chosen=FilterThenKnnOperator.name,
-            alternatives={FilterThenKnnOperator.name: 0.0},
-            effective_k=query.k,
-            selectivity=1.0,
-        )
+        explanation = _plan_trivial_select(stats, table, query)
         return FilterThenKnnOperator(table, query), explanation
     sigma = stats.predicate_selectivity(query.table, query.predicate)
     sigma *= stats.region_selectivity(query.table, query.region)
@@ -170,17 +226,53 @@ def plan_select(
     # Browsing can never scan more than every block once.
     cost_incremental = min(cost_incremental, cost_filter)
 
+    outcome = None if cache_hit else getattr(estimator, "last_outcome", None)
     explanation = _assemble_select_explanation(
-        stats, table, query, sigma, effective_k, cost_filter, cost_incremental
+        stats,
+        table,
+        query,
+        sigma,
+        effective_k,
+        cost_filter,
+        cost_incremental,
+        cache_hit=cache_hit,
+        outcome=outcome,
+        estimator_tiers=_estimator_tiers(estimator, "staircase"),
     )
-    explanation.cache_hit = cache_hit
-    if cache_hit:
-        # The estimator never ran; label the answer's real source.
-        explanation.estimator_tier = "estimate-cache"
-    else:
-        _record_provenance(explanation, estimator)
+    if not cache_hit:
         _record_preprocessing(explanation, estimator)
     return _select_operator_for(explanation.chosen, table, query), explanation
+
+
+def _plan_trivial_select(
+    stats: StatisticsManager, table, query: KnnSelectQuery
+) -> PlanExplanation:
+    """The empty-table select plan: a zero-cost trivial scan.
+
+    Still routed through the selection chain (single candidate) so the
+    decision trail is uniformly present.
+    """
+    alternatives = {FilterThenKnnOperator.name: 0.0}
+    explanation = PlanExplanation(
+        chosen="",
+        alternatives=alternatives,
+        effective_k=query.k,
+        selectivity=1.0,
+    )
+    __, data_generation = stats.catalog_freshness(query.table)
+    context = PlanningContext(
+        kind="select",
+        table=query.table,
+        candidates=alternatives,
+        tie_order=(FilterThenKnnOperator.name,),
+        data_generation=data_generation,
+        staleness_policy=stats.staleness_policy,
+        cache_stats=stats.cache_stats(),
+        effective_k=query.k,
+        selectivity=1.0,
+    )
+    _run_chain(stats, query, explanation, context)
+    return explanation
 
 
 def _assemble_select_explanation(
@@ -191,11 +283,18 @@ def _assemble_select_explanation(
     effective_k: int,
     cost_filter: float,
     cost_incremental: float,
+    *,
+    cache_hit: bool | None,
+    outcome,
+    estimator_tiers: tuple[str, ...],
 ) -> PlanExplanation:
     """Build the alternatives table and arbitrate the select plan.
 
     The shared tail of :func:`plan_select` and
-    :func:`plan_select_batch`: everything after the estimate is in hand.
+    :func:`plan_select_batch`: everything after the estimate is in
+    hand.  Candidate costs are precomputed here (batched upstream);
+    the selection chain arbitrates over the numbers and its verdict,
+    trail, and provenance land on the explanation.
     """
     alternatives: dict[str, float] = {
         FilterThenKnnOperator.name: cost_filter,
@@ -221,9 +320,43 @@ def _assemble_select_explanation(
     if RegionPrunedKnnOperator.name in alternatives:
         order.append(RegionPrunedKnnOperator.name)  # dominates plain browsing
     order.append(IncrementalKnnOperator.name)
-    explanation.chosen = min(
-        order, key=lambda name: (alternatives[name], order.index(name))
+    if cache_hit:
+        estimate_tier, estimate_degraded = "estimate-cache", False
+    elif outcome is not None:
+        estimate_tier, estimate_degraded = outcome.tier, outcome.degraded
+    else:
+        estimate_tier, estimate_degraded = "", False
+    catalog_generation, data_generation = stats.catalog_freshness(query.table)
+    context = PlanningContext(
+        kind="select",
+        table=query.table,
+        candidates=alternatives,
+        tie_order=tuple(order),
+        estimator_tiers=estimator_tiers,
+        estimate_operators=(
+            IncrementalKnnOperator.name,
+            RegionPrunedKnnOperator.name,
+        ),
+        estimate_tier=estimate_tier,
+        estimate_degraded=estimate_degraded,
+        data_generation=data_generation,
+        catalog_generation=catalog_generation,
+        staleness_policy=stats.staleness_policy,
+        cache_stats=stats.cache_stats(),
+        cache_hit=cache_hit,
+        effective_k=effective_k,
+        selectivity=sigma,
     )
+    _run_chain(stats, query, explanation, context)
+    explanation.cache_hit = cache_hit
+    if cache_hit:
+        # The estimator never ran; label the answer's real source.
+        explanation.estimator_tier = "estimate-cache"
+    elif outcome is not None:
+        explanation.estimator_tier = outcome.tier
+        explanation.degraded = outcome.degraded
+        if outcome.degraded:
+            explanation.notes.append(outcome.describe())
     return explanation
 
 
@@ -264,12 +397,7 @@ def plan_select_batch(
         if table.n_rows == 0:
             for i in indices:
                 query = queries[i]
-                explanation = PlanExplanation(
-                    chosen=FilterThenKnnOperator.name,
-                    alternatives={FilterThenKnnOperator.name: 0.0},
-                    effective_k=query.k,
-                    selectivity=1.0,
-                )
+                explanation = _plan_trivial_select(stats, table, query)
                 plans[i] = (FilterThenKnnOperator(table, query), explanation)
             continue
         sigmas = np.empty(len(indices), dtype=float)
@@ -293,9 +421,14 @@ def plan_select_batch(
         prep_stats = getattr(estimator, "preprocessing_stats", None)
         if prep_stats is not None:
             preprocessing = prep_stats.as_dict()
+        tiers = _estimator_tiers(estimator, "staircase")
         for j, i in enumerate(indices):
             query = queries[i]
             cost_incremental = min(float(costs[j]), cost_filter)
+            hit = bool(hits[j]) if hits is not None else None
+            # Shared provenance: per-query tier labels backed by the
+            # one batch-call attempt record.
+            outcome = None if hit else outcomes[j]
             explanation = _assemble_select_explanation(
                 stats,
                 table,
@@ -304,20 +437,11 @@ def plan_select_batch(
                 int(effective_ks[j]),
                 cost_filter,
                 cost_incremental,
+                cache_hit=hit,
+                outcome=outcome,
+                estimator_tiers=tiers,
             )
-            if hits is not None:
-                explanation.cache_hit = bool(hits[j])
-            if hits is not None and hits[j]:
-                explanation.estimator_tier = "estimate-cache"
-            else:
-                outcome = outcomes[j]
-                if outcome is not None:
-                    # Shared provenance: per-query tier labels backed by
-                    # the one batch-call attempt record.
-                    explanation.estimator_tier = outcome.tier
-                    explanation.degraded = outcome.degraded
-                    if outcome.degraded:
-                        explanation.notes.append(outcome.describe())
+            if not hit:
                 explanation.preprocessing.update(preprocessing)
             plans[i] = (
                 _select_operator_for(explanation.chosen, table, query),
@@ -343,12 +467,25 @@ def plan_range(
         cost = 0.0
     sigma = stats.predicate_selectivity(query.table, query.predicate)
     sigma *= stats.region_selectivity(query.table, query.region)
+    alternatives = {IndexRangeScanOperator.name: cost}
     explanation = PlanExplanation(
-        chosen=IndexRangeScanOperator.name,
-        alternatives={IndexRangeScanOperator.name: cost},
+        chosen="",
+        alternatives=alternatives,
         effective_k=0,
         selectivity=sigma,
     )
+    __, data_generation = stats.catalog_freshness(query.table)
+    context = PlanningContext(
+        kind="range",
+        table=query.table,
+        candidates=alternatives,
+        tie_order=(IndexRangeScanOperator.name,),
+        data_generation=data_generation,
+        staleness_policy=stats.staleness_policy,
+        cache_stats=stats.cache_stats(),
+        selectivity=sigma,
+    )
+    _run_chain(stats, query, explanation, context)
     return IndexRangeScanOperator(table, query), explanation
 
 
@@ -360,12 +497,27 @@ def plan_join(
     inner = stats.table(query.inner)
     if outer.n_rows == 0 or inner.n_rows == 0:
         # Degenerate join: zero work either way.
+        alternatives = {PerPointSelectsOperator.name: 0.0}
         explanation = PlanExplanation(
-            chosen=PerPointSelectsOperator.name,
-            alternatives={PerPointSelectsOperator.name: 0.0},
+            chosen="",
+            alternatives=alternatives,
             effective_k=query.k,
             selectivity=1.0,
         )
+        __, data_generation = stats.catalog_freshness(query.inner)
+        context = PlanningContext(
+            kind="join",
+            table=query.outer,
+            inner=query.inner,
+            candidates=alternatives,
+            tie_order=(PerPointSelectsOperator.name,),
+            data_generation=data_generation,
+            staleness_policy=stats.staleness_policy,
+            cache_stats=stats.cache_stats(),
+            effective_k=query.k,
+            selectivity=1.0,
+        )
+        _run_chain(stats, query, explanation, context)
         return PerPointSelectsOperator(outer, inner, query), explanation
     sigma = stats.predicate_selectivity(query.inner, query.inner_predicate)
     sigma = min(max(sigma, 1.0 / max(inner.n_rows, 1)), 1.0)
@@ -386,6 +538,8 @@ def plan_join(
         # failures internally and degrades instead.
         cost_join = float(outer.index.num_blocks * inner.index.num_blocks)
 
+    join_outcome = getattr(join_estimator, "last_outcome", None)
+
     select_estimator = stats.select_estimator_for_planning(query.inner)
     rng = np.random.default_rng(0)
     sample = rng.integers(0, max(outer.n_rows, 1), size=min(SELECT_COST_SAMPLE, max(outer.n_rows, 1)))
@@ -396,22 +550,59 @@ def plan_join(
         for i in sample
     ]
     cost_selects = float(np.mean(per_select)) * outer.n_rows if per_select else 0.0
+    select_outcome = getattr(select_estimator, "last_outcome", None)
 
+    alternatives = {
+        LocalityJoinOperator.name: cost_join,
+        PerPointSelectsOperator.name: cost_selects,
+    }
     explanation = PlanExplanation(
         chosen="",
-        alternatives={
-            LocalityJoinOperator.name: cost_join,
-            PerPointSelectsOperator.name: cost_selects,
-        },
+        alternatives=alternatives,
         effective_k=effective_k,
         selectivity=sigma,
     )
-    if cost_join <= cost_selects:
-        explanation.chosen = LocalityJoinOperator.name
+    # Provenance for the chain's confidence link: the arbitration rests
+    # on a degraded estimate if either side's chain degraded.
+    degraded_outcome = next(
+        (o for o in (join_outcome, select_outcome) if o is not None and o.degraded),
+        None,
+    )
+    if degraded_outcome is not None:
+        estimate_tier, estimate_degraded = degraded_outcome.tier, True
+    elif join_outcome is not None:
+        estimate_tier, estimate_degraded = join_outcome.tier, False
+    else:
+        estimate_tier, estimate_degraded = "", False
+    # Freshness facts come from the inner relation: its select catalogs
+    # back the per-point-selects costing, and join catalogs are rebuilt
+    # alongside the same snapshot generation.
+    catalog_generation, data_generation = stats.catalog_freshness(query.inner)
+    context = PlanningContext(
+        kind="join",
+        table=query.outer,
+        inner=query.inner,
+        candidates=alternatives,
+        tie_order=(LocalityJoinOperator.name, PerPointSelectsOperator.name),
+        estimator_tiers=_estimator_tiers(join_estimator, stats.join_technique),
+        estimate_operators=(
+            LocalityJoinOperator.name,
+            PerPointSelectsOperator.name,
+        ),
+        estimate_tier=estimate_tier,
+        estimate_degraded=estimate_degraded,
+        data_generation=data_generation,
+        catalog_generation=catalog_generation,
+        staleness_policy=stats.staleness_policy,
+        cache_stats=stats.cache_stats(),
+        effective_k=effective_k,
+        selectivity=sigma,
+    )
+    _run_chain(stats, query, explanation, context)
+    if explanation.chosen == LocalityJoinOperator.name:
         _record_provenance(explanation, join_estimator)
         _record_preprocessing(explanation, join_estimator)
         return LocalityJoinOperator(outer, inner, query, selectivity=sigma), explanation
-    explanation.chosen = PerPointSelectsOperator.name
     _record_provenance(explanation, select_estimator)
     _record_preprocessing(explanation, select_estimator)
     return PerPointSelectsOperator(outer, inner, query), explanation

@@ -47,6 +47,11 @@ from repro.estimators.virtual_grid import VirtualGridEstimator
 from repro.geometry import Point, Rect
 from repro.geometry.hilbert import hilbert_order
 from repro.index.snapshot import IndexSnapshot
+from repro.optimizer.selection import (
+    PhysicalOperatorSelection,
+    PinnedOverrideSelection,
+    default_selection_chain,
+)
 from repro.perf import resolve_workers
 from repro.resilience.errors import StaleCatalogError
 from repro.resilience.fallback import FallbackJoinEstimator, FallbackSelectEstimator
@@ -146,6 +151,18 @@ class StatisticsManager:
             then skips recomputing it at snapshot-gather time.  An
             entry whose length does not match the gathered snapshot is
             ignored (the order is recomputed).
+        selection_chain: The physical-operator selection chain the
+            planner arbitrates plans through
+            (:mod:`repro.optimizer.selection`).  ``None`` (the default)
+            resolves to :func:`default_selection_chain`, which
+            reproduces the legacy planner's decisions bit-for-bit.
+        pinned_operators: Forced per-table/per-kind operator choices —
+            ``{"table:kind" | "kind" | (table, kind): operator}`` —
+            prepended to the chain as a
+            :class:`~repro.optimizer.selection.PinnedOverrideSelection`.
+            Unlike a chain object, this mapping is plain picklable data,
+            so it is the channel sharded serving uses to ship pins to
+            spawn-context workers via ``manager_kwargs``.
     """
 
     def __init__(
@@ -166,6 +183,8 @@ class StatisticsManager:
         estimate_cache_cells: int = DEFAULT_CACHE_CELLS,
         snapshot_layout: SnapshotLayout = "hilbert",
         layout_orders: dict[str, np.ndarray] | None = None,
+        selection_chain: PhysicalOperatorSelection | None = None,
+        pinned_operators: dict | None = None,
     ) -> None:
         if join_technique not in ("catalog-merge", "virtual-grid"):
             raise ValueError(f"unknown join technique {join_technique!r}")
@@ -187,6 +206,9 @@ class StatisticsManager:
         self.estimate_time_budget = estimate_time_budget
         self.snapshot_layout: SnapshotLayout = snapshot_layout
         self.layout_orders = layout_orders
+        self.pinned_operators = dict(pinned_operators) if pinned_operators else {}
+        self._selection_chain = selection_chain
+        self._resolved_chain: PhysicalOperatorSelection | None = None
         #: Precomputed layout orders actually applied (vs. recomputed) —
         #: lets serving assert the one-compute-per-table contract.
         self.layout_orders_applied = 0
@@ -261,6 +283,79 @@ class StatisticsManager:
     def table_names(self) -> tuple[str, ...]:
         """Names of all registered relations."""
         return tuple(self._tables)
+
+    # ------------------------------------------------------------------
+    # The physical-operator selection chain
+    # ------------------------------------------------------------------
+    @property
+    def selection_chain(self) -> PhysicalOperatorSelection:
+        """The chain the planner arbitrates every plan choice through.
+
+        Resolved once: the configured chain (or the default —
+        freshness guard → cost arbiter → confidence), with any
+        ``pinned_operators`` prepended as a
+        :class:`~repro.optimizer.selection.PinnedOverrideSelection` so
+        pins run before everything else.
+        """
+        if self._resolved_chain is None:
+            chain = self._selection_chain or default_selection_chain()
+            if self.pinned_operators:
+                chain = PinnedOverrideSelection(self.pinned_operators).chain_with(
+                    chain
+                )
+            self._resolved_chain = chain
+        return self._resolved_chain
+
+    def configure_selection(
+        self,
+        selection_chain: PhysicalOperatorSelection | None = None,
+        pinned_operators: dict | None = None,
+    ) -> None:
+        """Replace the selection chain and/or operator pins.
+
+        The chain re-resolves lazily on next use, so pins passed here
+        are prepended exactly as constructor-time pins would be.
+        """
+        if selection_chain is not None:
+            self._selection_chain = selection_chain
+        if pinned_operators is not None:
+            self.pinned_operators = dict(pinned_operators)
+        self._resolved_chain = None
+
+    def catalog_freshness(self, name: str) -> tuple[int | None, int]:
+        """Freshness facts for the chain's guard link, as plain integers.
+
+        Returns:
+            ``(catalog_generation, data_generation)`` —
+            ``catalog_generation`` is the data generation the table's
+            cached Staircase catalogs were built at, or ``None`` when no
+            catalogs have been built yet (a build would be fresh).
+
+        Unlike :meth:`select_estimator`, this never resolves or rebuilds
+        the estimator, so it cannot raise
+        :class:`~repro.resilience.errors.StaleCatalogError` under the
+        ``"raise"`` staleness policy — the guard compares the integers
+        and demotes instead of crashing the chain.
+
+        Raises:
+            KeyError: For unknown table names.
+        """
+        table = self.table(name)
+        data_generation = int(getattr(table.index, "data_generation", 0))
+        cached = self._select_estimators.get(name)
+        built = None if cached is None else int(cached.built_at_generation)
+        return built, data_generation
+
+    def cache_stats(self) -> dict[str, int] | None:
+        """Estimate-cache counters for planning contexts (``None`` if off)."""
+        cache = self.estimate_cache
+        if cache is None:
+            return None
+        return {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": len(cache),
+        }
 
     # ------------------------------------------------------------------
     # Snapshot cache: one block-summary gather shared by every estimator

@@ -10,6 +10,12 @@ This subpackage implements both plans, executes them for ground truth,
 and chooses between them using the paper's estimators; it also covers
 the batch scenario (many k-NN-Selects versus one k-NN-Join, Section 1's
 shared-execution motivation).
+
+Arbitration itself lives in :mod:`repro.optimizer.selection`: a
+composable chain of ``PhysicalOperatorSelection`` links that the engine
+planner (and the standalone choosers here) route every decision
+through.  The golden plan-regression corpus guarding those decisions is
+maintained by :mod:`repro.optimizer.regression`.
 """
 
 from repro.optimizer.plans import (
@@ -23,6 +29,19 @@ from repro.optimizer.chooser import (
     choose_batch_plan,
     BatchPlanChoice,
 )
+from repro.optimizer.selection import (
+    ConfidenceSelection,
+    CostBasedSelection,
+    FreshnessGuardSelection,
+    LinkDecision,
+    PhysicalOperatorSelection,
+    PinnedOverrideSelection,
+    PlanAssignment,
+    PlanningContext,
+    build_selection_chain,
+    default_selection_chain,
+    parse_pin_spec,
+)
 
 __all__ = [
     "FilterThenKnnPlan",
@@ -32,4 +51,15 @@ __all__ = [
     "choose_select_plan",
     "choose_batch_plan",
     "BatchPlanChoice",
+    "ConfidenceSelection",
+    "CostBasedSelection",
+    "FreshnessGuardSelection",
+    "LinkDecision",
+    "PhysicalOperatorSelection",
+    "PinnedOverrideSelection",
+    "PlanAssignment",
+    "PlanningContext",
+    "build_selection_chain",
+    "default_selection_chain",
+    "parse_pin_spec",
 ]

@@ -8,11 +8,21 @@ Two arbitration scenarios from Section 1:
   shared k-NN-Join treating the query points as an outer relation
   ("to share the execution ... all the query points are treated as an
   outer relation and processing is performed in a single k-NN-Join").
+
+Both route the decision through the physical-operator selection chain
+(:mod:`repro.optimizer.selection`) — by default a bare
+:class:`~repro.optimizer.selection.CostBasedSelection`, which
+reproduces the historical arbitration bit-for-bit; callers can pass a
+custom chain (e.g. with a pin link) instead.  The batch chooser costs
+the whole batch with one ``estimate_batch`` call rather than a
+per-query Python loop; the summed cost is bit-identical to the scalar
+loop's (left-to-right summation over the per-query estimates, which the
+``estimate_batch`` contract guarantees element-wise).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -25,15 +35,47 @@ from repro.optimizer.plans import (
     IncrementalKnnPlan,
     Predicate,
 )
+from repro.optimizer.selection import (
+    CostBasedSelection,
+    LinkDecision,
+    PhysicalOperatorSelection,
+    PlanAssignment,
+    PlanningContext,
+)
+
+
+def _arbitrate(
+    chain: PhysicalOperatorSelection | None, context: PlanningContext
+) -> PlanAssignment:
+    """Walk ``chain`` (default: bare cost arbiter) over ``context``."""
+    if chain is None:
+        chain = CostBasedSelection()
+    assignment = chain.select_physical_operators(None, PlanAssignment(), context)
+    if assignment.operator is None:
+        raise ValueError(
+            f"selection chain {chain.describe()!r} finished without "
+            f"choosing an operator for kind {context.kind!r}"
+        )
+    return assignment
 
 
 @dataclass(frozen=True, slots=True)
 class PlanChoice:
-    """Result of arbitrating between two select QEPs."""
+    """Result of arbitrating between two select QEPs.
+
+    Attributes:
+        chosen: The winning plan's name.
+        filter_then_knn_cost: Estimated blocks for the filter-first QEP.
+        incremental_cost: Estimated blocks for distance browsing.
+        decided_by: The selection-chain link whose decision stood.
+        trail: The chain walk's per-link decisions.
+    """
 
     chosen: str
     filter_then_knn_cost: float
     incremental_cost: float
+    decided_by: str = "cost-based"
+    trail: tuple[LinkDecision, ...] = field(default=())
 
     @property
     def predicted_speedup(self) -> float:
@@ -50,6 +92,8 @@ def choose_select_plan(
     k: int,
     predicate: Predicate,
     selectivity: float,
+    *,
+    selection_chain: PhysicalOperatorSelection | None = None,
 ) -> tuple[PlanChoice, FilterThenKnnPlan, IncrementalKnnPlan]:
     """Pick the cheaper QEP for a predicate-constrained k-NN-Select.
 
@@ -60,6 +104,9 @@ def choose_select_plan(
         k: Qualifying neighbors requested.
         predicate: Per-tuple relational predicate.
         selectivity: Estimated fraction of qualifying tuples.
+        selection_chain: Optional custom selection chain; ``None`` uses
+            a bare cost arbiter (ties go to the filter-first plan,
+            whose full scan reads blocks sequentially).
 
     Returns:
         ``(choice, filter_plan, incremental_plan)`` — the chosen plan's
@@ -69,11 +116,27 @@ def choose_select_plan(
     incremental_plan = IncrementalKnnPlan(index, predicate, selectivity)
     cost_filter = filter_plan.estimated_cost(k)
     cost_incremental = incremental_plan.estimated_cost(k, select_estimator, query)
-    chosen = (
-        filter_plan.name if cost_filter <= cost_incremental else incremental_plan.name
+    context = PlanningContext(
+        kind="select",
+        table="",
+        candidates={
+            filter_plan.name: cost_filter,
+            incremental_plan.name: cost_incremental,
+        },
+        tie_order=(filter_plan.name, incremental_plan.name),
+        estimate_operators=(incremental_plan.name,),
+        effective_k=incremental_plan.effective_k(k),
+        selectivity=selectivity,
     )
+    assignment = _arbitrate(selection_chain, context)
     return (
-        PlanChoice(chosen, cost_filter, cost_incremental),
+        PlanChoice(
+            assignment.operator,
+            cost_filter,
+            cost_incremental,
+            decided_by=assignment.decided_by,
+            trail=tuple(assignment.trail),
+        ),
         filter_plan,
         incremental_plan,
     )
@@ -81,11 +144,21 @@ def choose_select_plan(
 
 @dataclass(frozen=True, slots=True)
 class BatchPlanChoice:
-    """Result of arbitrating many selects against one shared join."""
+    """Result of arbitrating many selects against one shared join.
+
+    Attributes:
+        chosen: ``"per-query-selects"`` or ``"shared-knn-join"``.
+        per_select_total_cost: Summed per-query select estimates.
+        join_cost: The shared join's estimate.
+        decided_by: The selection-chain link whose decision stood.
+        trail: The chain walk's per-link decisions.
+    """
 
     chosen: str
     per_select_total_cost: float
     join_cost: float
+    decided_by: str = "cost-based"
+    trail: tuple[LinkDecision, ...] = field(default=())
 
 
 def choose_batch_plan(
@@ -93,15 +166,25 @@ def choose_batch_plan(
     join_estimator: JoinCostEstimator,
     query_points: Sequence[Point] | np.ndarray,
     k: int,
+    *,
+    selection_chain: PhysicalOperatorSelection | None = None,
 ) -> BatchPlanChoice:
     """Pick between per-query k-NN-Selects and one shared k-NN-Join.
+
+    The batch is costed with a single ``estimate_batch`` call (the
+    estimators' vectorized path) instead of a per-query Python loop;
+    the total is the left-to-right sum of the per-query estimates, so
+    it is bit-identical to what the scalar loop produced.
 
     Args:
         select_estimator: Select-cost estimator for the inner relation.
         join_estimator: Join-cost estimator bound to (query-point index,
             inner relation).
-        query_points: The batch of query focal points.
+        query_points: The batch of query focal points — a sequence of
+            :class:`~repro.geometry.Point` or an ``(m, 2)`` array.
         k: Neighbors per query point.
+        selection_chain: Optional custom selection chain; ``None`` uses
+            a bare cost arbiter (ties go to per-query selects).
 
     Returns:
         The cheaper strategy with both estimated costs.
@@ -111,10 +194,39 @@ def choose_batch_plan(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    points = list(query_points)
-    if not points:
+    pts = np.asarray(
+        [[float(p.x), float(p.y)] for p in query_points]
+        if not isinstance(query_points, np.ndarray)
+        else query_points,
+        dtype=float,
+    ).reshape(-1, 2)
+    if pts.shape[0] == 0:
         raise ValueError("cannot plan an empty query batch")
-    per_select = sum(select_estimator.estimate(p, k) for p in points)
-    join_cost = join_estimator.estimate(k)
-    chosen = "per-query-selects" if per_select <= join_cost else "shared-knn-join"
-    return BatchPlanChoice(chosen, float(per_select), float(join_cost))
+    costs = np.asarray(
+        select_estimator.estimate_batch(pts, np.full(pts.shape[0], k, dtype=np.int64)),
+        dtype=float,
+    )
+    # Left-to-right summation: bit-identical to the historical
+    # ``sum(estimate(p, k) for p in points)`` loop (np.sum's pairwise
+    # reduction would drift in the last ulps on large batches).
+    per_select = float(sum(costs.tolist()))
+    join_cost = float(join_estimator.estimate(k))
+    context = PlanningContext(
+        kind="batch",
+        table="",
+        candidates={
+            "per-query-selects": per_select,
+            "shared-knn-join": join_cost,
+        },
+        tie_order=("per-query-selects", "shared-knn-join"),
+        estimate_operators=("per-query-selects", "shared-knn-join"),
+        effective_k=k,
+    )
+    assignment = _arbitrate(selection_chain, context)
+    return BatchPlanChoice(
+        assignment.operator,
+        per_select,
+        join_cost,
+        decided_by=assignment.decided_by,
+        trail=tuple(assignment.trail),
+    )

@@ -175,6 +175,12 @@ class ShardedServingTier:
             reference engine's configuration for bit-identical answers;
             leave ``estimate_cache_size`` at 0 — a warm cache can flip
             plan choices and break the identity.
+        pinned_operators: Forced per-table/per-kind operator choices
+            for every worker replica's selection chain — plain
+            picklable data (``{"table:kind" | "kind": operator}``),
+            merged into ``manager_kwargs``.  The reference engine must
+            be configured with the same pins or the bit-identity with
+            unsharded planning breaks.
 
     The tier is a context manager; :meth:`close` terminates every
     worker pool.
@@ -194,6 +200,7 @@ class ShardedServingTier:
         strict: bool = False,
         manager_kwargs: dict | None = None,
         shard_plan: ShardPlan | None = None,
+        pinned_operators: dict | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -215,6 +222,8 @@ class ShardedServingTier:
             shard_plan if shard_plan is not None else plan_shards(snapshot, n_shards)
         )
         self._manager_kwargs = dict(manager_kwargs or {})
+        if pinned_operators:
+            self._manager_kwargs["pinned_operators"] = dict(pinned_operators)
         # Every worker replicates the full relation, so the Hilbert
         # snapshot layout every replica's statistics manager would
         # compute is identical across shards — compute the permutation
