@@ -1,20 +1,29 @@
 """Sharded-serving bench: throughput and tail latency under faults.
 
-Two measurements over a mixed (data-distributed + uniform) k-NN-Select
-workload:
+Measurements over a mixed (data-distributed + uniform) k-NN-Select
+workload, in both shard layouts (the ``mode`` field of every record
+names which):
 
-* healthy-path throughput of a warm 4-shard tier, with p50/p95/p99
-  per-query latency recorded in ``extra_info``;
+* healthy-path throughput of a warm 4-shard replica tier, with
+  p50/p95/p99 per-query latency recorded in ``extra_info``;
 * the robustness acceptance run — a fault plan kills one of the four
   shard workers mid-workload, and the run must still complete with
   **zero query failures**, at least 75% non-degraded answers, and every
-  non-degraded answer bit-identical to the unsharded engine's.
+  non-degraded answer bit-identical to the unsharded engine's;
+* the data-sharding acceptance run — a **long-lived** 4-shard data
+  tier (``start()`` once, ``serve_many`` pipelined) against a
+  per-batch-respawn replica baseline; the long-lived tier must sustain
+  at least 2.5x the baseline's throughput, stay bit-identical, and
+  ship each worker a measurably sublinear slice of the relation
+  (per-shard payload and peak-RSS figures land in ``extra_info``).
 
 The default profile serves 10k queries; ``REPRO_BENCH_PROFILE=quick``
 shrinks the workload (CI's chaos-smoke job runs quick).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -66,6 +75,7 @@ def _assert_identical(report, reference):
 
 
 def _record(benchmark, report):
+    benchmark.extra_info["mode"] = report.shard_mode
     benchmark.extra_info["queries"] = report.n_queries
     benchmark.extra_info["queries_per_second"] = round(report.queries_per_second, 1)
     benchmark.extra_info["p50_latency_us"] = round(report.p50_latency_us, 1)
@@ -125,4 +135,137 @@ def test_sharded_serving_survives_worker_crash(benchmark, bench_config):
     assert report.n_degraded <= 0.25 * report.n_queries
     # Every exact answer is bit-identical to the unsharded engine.
     _assert_identical(report, reference)
+    _record(benchmark, report)
+
+
+def test_data_sharding_long_lived_tier_vs_respawn_baseline(
+    benchmark, bench_config
+):
+    """The data-sharding acceptance run.
+
+    A long-lived 4-shard **data** tier (spawned once, batches pipelined
+    through ``serve_many``) against the naive deployment it replaces: a
+    **replica** tier torn down and respawned for every batch.  The
+    long-lived tier must sustain >= 2.5x the baseline's throughput
+    while staying bit-identical to the unsharded engine, and each data
+    worker's shipped payload must be well under a replica worker's
+    (memory sublinear in worker count).
+    """
+    cfg = bench_config
+    points, batch, reference = _workload(cfg)
+    table = SpatialTable("t", points, capacity=cfg.capacity)
+    n_batches = 8
+    bounds = np.linspace(0, len(batch), n_batches + 1).astype(int)
+    batches = [
+        QueryBatch(points=batch.points[lo:hi], ks=batch.ks[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+
+    # Baseline: one short-lived replica tier per batch — every batch
+    # pays the full spawn + catalog-build cost again.
+    baseline_start = time.perf_counter()
+    for sub in batches:
+        with ShardedServingTier(
+            table,
+            n_shards=N_SHARDS,
+            chunk_size=CHUNK_SIZE,
+            manager_kwargs={"max_k": cfg.max_k},
+        ) as throwaway:
+            throwaway.serve(sub)
+    baseline_seconds = time.perf_counter() - baseline_start
+    baseline_qps = len(batch) / baseline_seconds
+
+    with ShardedServingTier(
+        table,
+        n_shards=N_SHARDS,
+        shard_mode="data",
+        chunk_size=CHUNK_SIZE,
+        manager_kwargs={"max_k": cfg.max_k},
+    ) as tier:
+        replica_shard_bytes = int(table.points.nbytes)
+        shipped = tier.shipped_bytes
+        tier.start()
+        many = benchmark.pedantic(
+            tier.serve_many, args=(batches,), rounds=1, iterations=1
+        )
+        rss_kb = [stats["ru_maxrss_kb"] for stats in tier.worker_stats()]
+        assert tier.pools_spawned == N_SHARDS  # spawned once, reused
+
+    assert many.n_overloaded == 0
+    # Bit-identity across the whole pipelined run.
+    offset = 0
+    for report in many.reports:
+        assert report.shard_mode == "data"
+        assert not report.partial.any()
+        _assert_identical_offset(report, reference, offset)
+        offset += report.n_queries
+    assert offset == len(reference)
+
+    # Throughput acceptance: the long-lived tier amortizes its spawn.
+    speedup = many.throughput_qps / baseline_qps
+    assert speedup >= 2.5, (
+        f"long-lived data tier {many.throughput_qps:.0f} q/s vs respawn "
+        f"baseline {baseline_qps:.0f} q/s = {speedup:.2f}x (< 2.5x)"
+    )
+    # Memory acceptance: every data worker holds a strict slice (the
+    # worst shard well under one replica payload even after the ~2x
+    # per-row overhead of row-id/global-position columns and the shard
+    # plan's count imbalance), and the whole tier ships far less than
+    # the 4x-replica total.
+    max_shard_bytes = max(shipped.values())
+    assert max_shard_bytes <= 0.75 * replica_shard_bytes
+    assert sum(shipped.values()) <= 2.5 * replica_shard_bytes
+
+    benchmark.extra_info["mode"] = "data"
+    benchmark.extra_info["queries"] = many.n_queries
+    benchmark.extra_info["queries_per_second"] = round(many.throughput_qps, 1)
+    benchmark.extra_info["baseline_queries_per_second"] = round(baseline_qps, 1)
+    benchmark.extra_info["speedup_vs_respawn"] = round(speedup, 2)
+    benchmark.extra_info["p50_latency_us"] = round(many.percentile_us(50.0), 1)
+    benchmark.extra_info["p95_latency_us"] = round(many.percentile_us(95.0), 1)
+    benchmark.extra_info["p99_latency_us"] = round(many.percentile_us(99.0), 1)
+    benchmark.extra_info["replica_shard_payload_bytes"] = replica_shard_bytes
+    benchmark.extra_info["max_data_shard_payload_bytes"] = max_shard_bytes
+    benchmark.extra_info["worker_peak_rss_kb"] = rss_kb
+
+
+def _assert_identical_offset(report, reference, offset):
+    for i in range(report.n_queries):
+        if report.degraded[i]:
+            continue
+        ref_result, ref_explanation = reference[offset + i]
+        result = report.results[i]
+        assert np.array_equal(result.row_ids, ref_result.row_ids), offset + i
+        assert result.blocks_scanned == ref_result.blocks_scanned, offset + i
+        assert report.explanations[i].chosen == ref_explanation.chosen, offset + i
+
+
+def test_data_sharding_survives_worker_crash(benchmark, bench_config):
+    """Chaos in data mode: a transient crash of 1 of 4 data shards must
+    recover to full bit-identity; the protocol rounds replay on the
+    respawned incarnation."""
+    cfg = bench_config
+    points, batch, reference = _workload(cfg)
+    table = SpatialTable("t", points, capacity=cfg.capacity)
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=1, on_batch=0, incarnation=0)
+    )
+
+    def serve_under_fault():
+        with ShardedServingTier(
+            table,
+            n_shards=N_SHARDS,
+            shard_mode="data",
+            chunk_size=CHUNK_SIZE,
+            manager_kwargs={"max_k": cfg.max_k},
+            policy=SupervisionPolicy(max_retries=2, backoff_base=0.02),
+            worker_faults=faults,
+        ) as tier:
+            return tier.serve(batch)
+
+    report = benchmark.pedantic(serve_under_fault, rounds=1, iterations=1)
+    assert report.n_degraded == 0
+    assert not report.partial.any()
+    _assert_identical(report, reference)
+    assert sum(s.respawns for s in report.shards) >= 1
     _record(benchmark, report)

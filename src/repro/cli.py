@@ -293,6 +293,7 @@ def _run_select_batch(args: argparse.Namespace) -> int:
             batch,
             mode="sharded",
             shards=args.shards,
+            shard_mode=args.shard_mode,
             workers=max(1, args.workers or 1),
             deadline_ms=args.deadline_ms,
             tier_options={
@@ -450,6 +451,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve --batch through N supervised shard workers "
         "(0 = in-process batch serving); with --shards, --workers sizes "
         "each shard's process pool",
+    )
+    p.add_argument(
+        "--shard-mode",
+        choices=["replica", "data"],
+        default="replica",
+        help="sharded-serving layout: 'replica' ships the full dataset "
+        "to every shard; 'data' gives each shard a block-aligned slice "
+        "and streams a cross-shard k-NN merge at the coordinator",
     )
     p.add_argument(
         "--deadline-ms",

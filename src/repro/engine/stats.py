@@ -731,6 +731,37 @@ class StatisticsManager:
             return [None] * len(positions)
         return [batch_outcome.outcome_for(j) for j in range(n)]
 
+    def estimate_select_provenance(
+        self, name: str, pts: np.ndarray, ks: np.ndarray
+    ) -> tuple[np.ndarray, list[str], list[bool]]:
+        """Batched select-cost estimates with per-query tier provenance.
+
+        The data-shard serving tier's estimate round: each shard
+        estimates its *local* browse costs and ships per-query
+        ``(costs, tiers, degraded)`` to the coordinator, which sums the
+        costs and keeps the worst tier across shards — the same labels
+        :func:`~repro.engine.planner.plan_select_batch` would attach
+        ("estimate-cache" on a cache hit, the answering fallback tier
+        otherwise, ``""`` for a raw estimator).
+        """
+        estimator = self.select_estimator_for_planning(name)
+        costs, hits, outcomes = self.estimate_select_costs_batch(
+            name, estimator, np.asarray(pts, dtype=float), np.asarray(ks)
+        )
+        tiers: list[str] = []
+        degraded: list[bool] = []
+        for j in range(costs.shape[0]):
+            if hits is not None and bool(hits[j]):
+                tiers.append("estimate-cache")
+                degraded.append(False)
+            elif outcomes[j] is not None:
+                tiers.append(outcomes[j].tier)
+                degraded.append(bool(outcomes[j].degraded))
+            else:
+                tiers.append("")
+                degraded.append(False)
+        return costs, tiers, degraded
+
     def join_estimator_for_planning(self, outer: str, inner: str) -> JoinCostEstimator:
         """What the planner costs joins with (chain, or raw if disabled)."""
         if self.fallback:

@@ -253,6 +253,52 @@ class IndexSnapshot:
             layout="canonical",
         )
 
+    def extract(self, rows: np.ndarray) -> "IndexSnapshot":
+        """A sub-snapshot of selected canonical rows (data sharding).
+
+        Built for the serving tier's data-shard mode: each shard holds
+        the summaries of *its* blocks only, while every row keeps its
+        **global** ``block_ids`` entry.  Because the rows are taken in
+        ascending canonical order, the result is itself ``"canonical"``
+        (``tie_order is None``), so position tie-breaks inside the
+        sub-snapshot resolve by ascending *global* block id — exactly
+        the slice of the parent's tie-break sequence that belongs to
+        this shard.  A cross-shard merge keyed on ``(MINDIST, global
+        block id)`` therefore reproduces the parent's scan order
+        bit-for-bit.
+
+        Args:
+            rows: Strictly ascending canonical row indices to keep.
+
+        Raises:
+            ValueError: If the snapshot is not canonical or ``rows`` is
+                not strictly ascending and in range.
+        """
+        if self.layout != "canonical":
+            raise ValueError(
+                f"extract needs a canonical snapshot, got layout {self.layout!r}; "
+                "call .canonical() first"
+            )
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size:
+            if rows[0] < 0 or rows[-1] >= self.n_blocks:
+                raise ValueError(
+                    f"extract rows out of range [0, {self.n_blocks})"
+                )
+            if np.any(np.diff(rows) <= 0):
+                raise ValueError("extract rows must be strictly ascending")
+        return IndexSnapshot(
+            rects=self.rects[rows],
+            counts=self.counts[rows],
+            centers=self.centers[rows],
+            block_ids=self.block_ids[rows],
+            data_generation=self.data_generation,
+            source=self.source,
+            bounds=self.bounds,
+            capacity=self.capacity,
+            layout="canonical",
+        )
+
     @property
     def tie_order(self) -> np.ndarray | None:
         """Permutation restoring canonical order, or ``None`` if canonical.

@@ -35,8 +35,8 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.geometry import Point, mindist_point_rect
-from repro.geometry.kernels import mindist_argsort, mindist_rects
+from repro.geometry import Point, Rect, mindist_point_rect, mindist_points_rects
+from repro.geometry.kernels import mindist_argsort, mindist_rects, tie_stable_argsort
 from repro.index.base import Block, SpatialIndex
 from repro.index.snapshot import IndexSnapshot, as_snapshot
 
@@ -369,3 +369,113 @@ def brute_force_knn(points: np.ndarray, query: Point, k: int) -> np.ndarray:
     idx = np.argpartition(dists, k_eff - 1)[:k_eff]
     idx = idx[np.argsort(dists[idx], kind="stable")]
     return pts[idx]
+
+
+class SnapshotBlockStream:
+    """Resumable MINDIST-ordered block stream over one snapshot.
+
+    The per-shard primitive of the serving tier's cross-shard k-NN
+    merge: a shard worker walks its sub-snapshot's blocks in the exact
+    (MINDIST, ascending block id) order the global distance browser
+    would visit them, but *incrementally* — the coordinator pulls a
+    prefix, merges it against the other shards' streams, and resumes
+    from a plain integer cursor only if this shard's :meth:`bound`
+    is still below the running k-th distance.  The stream is stateless
+    across pulls (the cursor is the whole state), so a respawned worker
+    incarnation resumes a stream mid-query without any handshake.
+
+    Entry floats are bit-identical to the batched executor's: block
+    order comes from the same :func:`~repro.geometry.mindist_points_rects`
+    kernel + stable tie sort, and each block's stop-test ``threshold``
+    is recomputed with the scalar
+    :func:`~repro.geometry.mindist_point_rect` — exactly the float the
+    heap browser compares gathered distances against.
+
+    Args:
+        snapshot: The (sub-)snapshot to stream; its ``block_ids`` are
+            reported back with every entry so a cross-shard consumer
+            can merge on the global ``(MINDIST, block id)`` key.
+        query: The focal point.
+    """
+
+    def __init__(self, snapshot: IndexSnapshot, query: Point) -> None:
+        self._snapshot = snapshot
+        self._query = query
+        n = snapshot.n_blocks
+        if n == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._mindists = np.empty(0, dtype=float)
+        else:
+            tableau = mindist_points_rects(
+                np.array([[query.x, query.y]], dtype=float), snapshot.rects
+            )
+            order = tie_stable_argsort(tableau, snapshot.tie_order)[0]
+            self._order = order
+            self._mindists = tableau[0][order]
+
+    @property
+    def n_blocks(self) -> int:
+        """Total blocks the stream can ever emit."""
+        return int(self._order.shape[0])
+
+    def entry(self, rank: int) -> tuple[float, int, float, int]:
+        """The stream's ``rank``-th block as ``(mindist, block_id, threshold, row)``.
+
+        ``row`` is the block's physical row in the snapshot (for
+        pairing with per-block row/point arrays); ``threshold`` is the
+        scalar-kernel MINDIST used by the browser's stop test.
+        """
+        row = int(self._order[rank])
+        rect = Rect(*self._snapshot.rects[row])
+        return (
+            float(self._mindists[rank]),
+            int(self._snapshot.block_ids[row]),
+            mindist_point_rect(self._query, rect),
+            row,
+        )
+
+    def bound(self, cursor: int) -> tuple[float, int, float] | None:
+        """Lower bound of everything not yet emitted, or ``None`` if spent.
+
+        The next block's ``(mindist, block_id, threshold)``: no
+        unemitted row of this stream can lie closer than ``threshold``,
+        and no unemitted block sorts before ``(mindist, block_id)`` in
+        the global scan order.
+        """
+        if cursor >= self.n_blocks:
+            return None
+        mindist, block_id, threshold, __ = self.entry(cursor)
+        return (mindist, block_id, threshold)
+
+    def take(
+        self,
+        cursor: int,
+        *,
+        min_points: int = 0,
+        min_mindist: float = -np.inf,
+        counts: np.ndarray | None = None,
+    ) -> tuple[list[tuple[float, int, float, int]], int]:
+        """Emit blocks from ``cursor`` until both stop conditions hold.
+
+        Emission continues while the emitted blocks hold fewer than
+        ``min_points`` rows *or* the next block's MINDIST is strictly
+        below ``min_mindist`` — the two pull shapes of the merge
+        protocol (gather-a-k-prefix, and drain-below-a-dead-shard's
+        bound) — and stops at exhaustion regardless.
+
+        Returns:
+            ``(entries, new_cursor)`` with entries as in :meth:`entry`.
+        """
+        if counts is None:
+            counts = self._snapshot.counts
+        entries: list[tuple[float, int, float, int]] = []
+        gathered = 0
+        n = self.n_blocks
+        while cursor < n:
+            if gathered >= min_points and self._mindists[cursor] >= min_mindist:
+                break
+            entry = self.entry(cursor)
+            entries.append(entry)
+            gathered += int(counts[entry[3]])
+            cursor += 1
+        return entries, cursor

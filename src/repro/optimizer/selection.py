@@ -43,7 +43,8 @@ suite (``tests/plan_regression/``, regenerated with
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Mapping
 
 # ---------------------------------------------------------------------------
@@ -96,18 +97,25 @@ class LinkDecision:
             (``None`` while undecided).
         note: Human-readable rationale, including rejected candidates
             and their costs where applicable.
+        elapsed_us: Wall-clock the link's ``_apply_selection`` took,
+            microseconds (stamped by the chain walk; 0.0 only if the
+            clock could not resolve the call).
     """
 
     link: str
     action: str
     operator: str | None
     note: str = ""
+    elapsed_us: float = 0.0
 
     def describe(self) -> str:
         """One line for ``EXPLAIN`` output."""
-        return f"{self.link} [{self.action}]: {self.note}" if self.note else (
+        line = f"{self.link} [{self.action}]: {self.note}" if self.note else (
             f"{self.link} [{self.action}]"
         )
+        if self.elapsed_us > 0.0:
+            line += f" ({self.elapsed_us:.1f} us)"
+        return line
 
 
 @dataclass
@@ -262,7 +270,16 @@ class PhysicalOperatorSelection(abc.ABC):
         Returns:
             The final assignment after every link has run.
         """
+        trail_before = len(assignment.trail)
+        tick = time.perf_counter()
         assignment = self._apply_selection(query, assignment, context)
+        elapsed_us = (time.perf_counter() - tick) * 1e6
+        # Stamp the records THIS link appended (recursion into the rest
+        # of the chain happens below, so the slice is exactly ours).
+        for i in range(trail_before, len(assignment.trail)):
+            decision = assignment.trail[i]
+            if decision.elapsed_us == 0.0:
+                assignment.trail[i] = replace(decision, elapsed_us=elapsed_us)
         if self.next_selection is not None:
             assignment = self.next_selection.select_physical_operators(
                 query, assignment, context

@@ -4,9 +4,15 @@ A supervised, process-sharded front end over the
 :class:`~repro.engine.SpatialEngine`:
 
 * :mod:`~repro.serving.shards` — the shard planner (count-balanced
-  spatial partitioning of query space) and vectorized routing;
-* :mod:`~repro.serving.worker` — the per-shard worker process: a full
-  engine replica serving chunks under a propagated deadline;
+  spatial partitioning of query space), vectorized routing, and the
+  block-level data partitioner for true data shards;
+* :mod:`~repro.serving.worker` — the per-shard worker process: either a
+  full engine replica serving chunks under a propagated deadline
+  (``shard_mode="replica"``) or a data shard streaming MINDIST-ordered
+  blocks to the coordinator (``shard_mode="data"``);
+* :mod:`~repro.serving.merge` — the coordinator-side streaming k-NN
+  merge over per-shard block streams, with coverage-gap (``partial``)
+  accounting when a data shard dies mid-query;
 * :mod:`~repro.serving.supervisor` — deadlines, bounded retries with
   backoff, worker respawn, and per-shard circuit breakers;
 * :mod:`~repro.serving.admission` — queue-depth and time-budget load
@@ -22,12 +28,14 @@ Entry points: :class:`ShardedServingTier` for long-lived serving,
 from repro.serving.admission import AdmissionController
 from repro.serving.coordinator import (
     DEGRADED_PLAN,
+    ServeManyReport,
     ShardedServingReport,
     ShardedServingTier,
     ShardReport,
     serve_sharded,
 )
-from repro.serving.shards import ShardPlan, plan_shards
+from repro.serving.merge import PARTIAL_PLAN, QueryMerge, merge_filter_topk
+from repro.serving.shards import ShardPlan, partition_blocks, plan_shards
 from repro.serving.supervisor import (
     Deadline,
     ShardSupervisor,
@@ -40,6 +48,9 @@ __all__ = [
     "AdmissionController",
     "DEGRADED_PLAN",
     "Deadline",
+    "PARTIAL_PLAN",
+    "QueryMerge",
+    "ServeManyReport",
     "ShardPlan",
     "ShardReport",
     "ShardSupervisor",
@@ -48,6 +59,8 @@ __all__ = [
     "ShardedServingReport",
     "ShardedServingTier",
     "SupervisionPolicy",
+    "merge_filter_topk",
+    "partition_blocks",
     "plan_shards",
     "serve_sharded",
 ]

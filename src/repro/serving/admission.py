@@ -95,6 +95,13 @@ class AdmissionController:
             raise ValueError(f"n_queries must be >= 0, got {n_queries}")
         with self._lock:
             retry_after = self._drain_seconds()
+            # An honest hint never exceeds what the caller can still
+            # wait: a retry_after past the remaining deadline would
+            # tell them to come back after their budget is gone.
+            if remaining_seconds is not None and remaining_seconds > 0:
+                retry_after = max(
+                    _RETRY_AFTER_FLOOR, min(retry_after, remaining_seconds)
+                )
             if remaining_seconds is not None and remaining_seconds <= 0:
                 self._shed += n_queries
                 raise OverloadError(

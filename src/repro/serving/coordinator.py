@@ -22,11 +22,28 @@ subsystem.  Per batch it:
    which case a :class:`~repro.resilience.errors.ShardExhaustedError`
    is raised.
 
-Because every worker holds a full replica of the point set and the
-quadtree partition is a pure function of (points, capacity), every
-*non-degraded* answer is bit-identical to what an unsharded
-:class:`~repro.engine.SpatialEngine` with the same configuration would
-have produced — the chaos suite asserts exactly that.
+The tier runs in one of two **shard modes**:
+
+* ``"replica"`` (the default) — every worker holds a full replica of
+  the point set; queries route to their spatial shard and come back
+  whole.  Because the quadtree partition is a pure function of
+  (points, capacity), every *non-degraded* answer is bit-identical to
+  an unsharded :class:`~repro.engine.SpatialEngine`.
+* ``"data"`` — the relation is *partitioned*: each worker holds only
+  its shard's index blocks and rows (memory ∝ n/shards), and every
+  query fans out to all shards, answered by the streaming cross-shard
+  merge of :mod:`repro.serving.merge`.  Answers are still bit-identical
+  to the unsharded engine — the merge replays the exact global block
+  admission — but a dead shard is now a *coverage gap*: affected
+  queries degrade to an explicit ``partial`` outcome (a verified
+  prefix of the true answer, clamped by the surviving shards' bounds)
+  instead of replica mode's estimate-only fallback.
+
+The tier is **long-lived**: :meth:`~ShardedServingTier.start` spawns
+every worker pool eagerly, :meth:`~ShardedServingTier.serve_many`
+pipelines multiple in-flight batches through the same pools with
+per-query latency accounting, and ``pools_spawned`` proves the spawn
+cost was paid exactly once across a sustained workload.
 """
 
 from __future__ import annotations
@@ -37,17 +54,37 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.planner import PlanExplanation
+from repro.engine.physical import (
+    ExecutionResult,
+    FilterThenKnnOperator,
+    IncrementalKnnOperator,
+    RegionPrunedKnnOperator,
+)
+from repro.engine.planner import PlanExplanation, _estimator_tiers, _run_chain
+from repro.engine.queries import KnnSelectQuery
+from repro.engine.stats import StatisticsManager
 from repro.engine.table import SpatialTable
 from repro.estimators.uniform_model import UniformModelEstimator
+from repro.geometry import Point, Rect, mindist_point_rect
 from repro.geometry.backends import active_backend
 from repro.geometry.hilbert import hilbert_order
 from repro.index.snapshot import as_snapshot
-from repro.serving.worker import SHARD_TABLE
-from repro.resilience.errors import ShardExhaustedError
+from repro.optimizer.selection import PlanningContext
+from repro.serving.merge import (
+    PARTIAL_PLAN,
+    QueryMerge,
+    merge_filter_topk,
+    merge_select_estimates,
+)
+from repro.serving.worker import (
+    SHARD_TABLE,
+    _serve_data_shard_chunk,
+    _worker_stats,
+)
+from repro.resilience.errors import OverloadError, ShardExhaustedError
 from repro.resilience.faultinject import WorkerFaultPlan
 from repro.serving.admission import AdmissionController
-from repro.serving.shards import ShardPlan, plan_shards
+from repro.serving.shards import ShardPlan, partition_blocks, plan_shards
 from repro.serving.supervisor import (
     Deadline,
     ShardSupervisor,
@@ -119,36 +156,106 @@ class ShardedServingReport(ServingReport):
     """A :class:`~repro.workloads.serving.ServingReport` with shard provenance.
 
     Attributes:
-        shard_ids: ``(n,)`` shard each query was routed to.
+        shard_ids: ``(n,)`` shard each query was routed to (``-1`` in
+            data-shard mode — every query fans out to all shards).
         degraded: ``(n,)`` bool mask of estimate-only answers (their
             ``results`` entry is ``None``).
+        partial: ``(n,)`` bool mask of partial-coverage answers
+            (data-shard mode only): the result holds a *verified
+            prefix* of the true k-NN answer, clamped by the dead
+            shards' bounds.
         shards: Per-shard :class:`ShardReport`, ascending by shard id.
         deadline_ms: The deadline the batch ran under (``None`` =
             unbounded).
+        shard_mode: ``"replica"`` or ``"data"``.
     """
 
     shard_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     degraded: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    partial: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
     shards: tuple[ShardReport, ...] = ()
     deadline_ms: float | None = None
+    shard_mode: str = "replica"
 
     @property
     def n_degraded(self) -> int:
         """Queries answered by the coordinator's degraded fallback."""
         return int(np.count_nonzero(self.degraded))
 
+    @property
+    def n_partial(self) -> int:
+        """Queries answered with a verified prefix (coverage gap)."""
+        return int(np.count_nonzero(self.partial))
+
     def describe(self) -> str:
         """Multi-line summary: base report + shard and degradation lines."""
         lines = [super().describe()]
+        lines.append(f"shard mode:  {self.shard_mode}")
         if self.deadline_ms is not None:
             lines.append(f"deadline:    {self.deadline_ms:.0f} ms")
-        healthy = self.n_queries - self.n_degraded
+        healthy = self.n_queries - self.n_degraded - self.n_partial
         lines.append(
             f"degraded:    {self.n_degraded} of {self.n_queries} queries "
-            f"({healthy} exact)"
+            f"({self.n_partial} partial, {healthy} exact)"
         )
         for shard in self.shards:
             lines.append(f"  {shard.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ServeManyReport:
+    """The outcome of one :meth:`ShardedServingTier.serve_many` run.
+
+    Attributes:
+        reports: Per-batch :class:`ShardedServingReport`, in submission
+            order; ``None`` where admission refused the batch.
+        n_batches: Batches submitted.
+        n_overloaded: Batches refused at admission.
+        seconds: Wall clock across the pipelined run.
+        latencies_us: Per-query latencies concatenated across served
+            batches, so the percentiles below reflect *queries*, not
+            coordinator-side batch timing.
+    """
+
+    reports: tuple
+    n_batches: int
+    n_overloaded: int
+    seconds: float
+    latencies_us: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Queries actually served across all admitted batches."""
+        return int(self.latencies_us.shape[0])
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served queries per second of wall clock."""
+        return self.n_queries / self.seconds if self.seconds > 0 else 0.0
+
+    def percentile_us(self, q: float) -> float:
+        """A per-query latency percentile in microseconds."""
+        if self.latencies_us.size == 0:
+            return 0.0
+        return float(np.percentile(self.latencies_us, q))
+
+    def describe(self) -> str:
+        """Multi-line sustained-run summary."""
+        lines = [
+            f"batches:     {self.n_batches} "
+            f"({self.n_overloaded} refused at admission)",
+            f"queries:     {self.n_queries}",
+            f"wall clock:  {self.seconds:.3f} s "
+            f"({self.throughput_qps:,.0f} q/s)",
+        ]
+        if self.latencies_us.size:
+            lines.append(
+                "latency:     "
+                f"p50 {self.percentile_us(50):,.0f} us, "
+                f"p95 {self.percentile_us(95):,.0f} us, "
+                f"p99 {self.percentile_us(99):,.0f} us"
+            )
         return "\n".join(lines)
 
 
@@ -156,8 +263,12 @@ class ShardedServingTier:
     """A supervised, sharded serving front end over one relation.
 
     Args:
-        table: The relation to serve (its points are replicated to
-            every shard worker).
+        table: The relation to serve (replicated to every worker in
+            replica mode; partitioned across workers in data mode).
+        shard_mode: ``"replica"`` (full copy per worker, queries
+            routed by region) or ``"data"`` (each worker holds only
+            its shard's blocks, queries answered by the cross-shard
+            streaming merge).
         n_shards: Spatial shards / worker pools.
         workers_per_shard: Processes per shard pool; each extra worker
             adds one concurrent chunk stream for that shard's traffic.
@@ -190,6 +301,7 @@ class ShardedServingTier:
         self,
         table: SpatialTable,
         *,
+        shard_mode: str = "replica",
         n_shards: int = 4,
         workers_per_shard: int = 1,
         chunk_size: int = 1024,
@@ -202,59 +314,155 @@ class ShardedServingTier:
         shard_plan: ShardPlan | None = None,
         pinned_operators: dict | None = None,
     ) -> None:
+        if shard_mode not in ("replica", "data"):
+            raise ValueError(f"unknown shard_mode {shard_mode!r}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if table.n_rows == 0:
             raise ValueError("cannot shard-serve an empty table")
         self.table = table
+        self.shard_mode = shard_mode
         self.chunk_size = int(chunk_size)
         self.deadline_ms = deadline_ms
         self.strict = bool(strict)
         self.admission = admission
         self._workers_per_shard = int(workers_per_shard)
         snapshot = as_snapshot(table.index)
-        # Routing is a pure load-partitioning concern: any ShardPlan
-        # over any substrate yields the same answers, because every
-        # worker replicates the full relation.  A caller may therefore
-        # supply a plan built from a different index (n_shards is then
-        # taken from the plan).
+        # Routing (replica mode) and partitioning (data mode) are pure
+        # load-balancing concerns: any ShardPlan over any substrate
+        # yields the same answers.  A caller may therefore supply a
+        # plan built from a different index (n_shards is then taken
+        # from the plan).
         self.plan: ShardPlan = (
             shard_plan if shard_plan is not None else plan_shards(snapshot, n_shards)
         )
         self._manager_kwargs = dict(manager_kwargs or {})
         if pinned_operators:
             self._manager_kwargs["pinned_operators"] = dict(pinned_operators)
-        # Every worker replicates the full relation, so the Hilbert
-        # snapshot layout every replica's statistics manager would
-        # compute is identical across shards — compute the permutation
-        # ONCE here and ship it via the manager configuration, instead
-        # of once per worker process per spawn.
-        if (
-            self._manager_kwargs.get("snapshot_layout", "hilbert") == "hilbert"
-            and "layout_orders" not in self._manager_kwargs
-            and snapshot.n_blocks > 1
-        ):
-            self._manager_kwargs["layout_orders"] = {
-                SHARD_TABLE: hilbert_order(snapshot.centers, snapshot.bounds)
-            }
         capacity = int(table.index.capacity)
-        handles = {
-            sid: ShardWorkerHandle(
-                sid,
-                table.points,
-                capacity,
-                self._manager_kwargs,
-                fault_plan=worker_faults,
-                workers=workers_per_shard,
-                backend=active_backend(),
+        if shard_mode == "replica":
+            # Every worker replicates the full relation, so the Hilbert
+            # snapshot layout every replica's statistics manager would
+            # compute is identical across shards — compute the
+            # permutation ONCE here and ship it via the manager
+            # configuration, instead of once per worker per spawn.
+            if (
+                self._manager_kwargs.get("snapshot_layout", "hilbert") == "hilbert"
+                and "layout_orders" not in self._manager_kwargs
+                and snapshot.n_blocks > 1
+            ):
+                self._manager_kwargs["layout_orders"] = {
+                    SHARD_TABLE: hilbert_order(snapshot.centers, snapshot.bounds)
+                }
+            handles = {
+                sid: ShardWorkerHandle(
+                    sid,
+                    table.points,
+                    capacity,
+                    self._manager_kwargs,
+                    fault_plan=worker_faults,
+                    workers=workers_per_shard,
+                    backend=active_backend(),
+                )
+                for sid in range(self.plan.n_shards)
+            }
+        else:
+            handles = self._build_data_handles(
+                snapshot, capacity, worker_faults, workers_per_shard
             )
-            for sid in range(self.plan.n_shards)
-        }
         self.supervisor = ShardSupervisor(handles, policy)
         # The degradation tier: location-independent, estimate-only,
         # always inside the guaranteed bound.
         self._fallback_model = UniformModelEstimator(snapshot)
         self._guaranteed_bound = float(table.index.num_blocks)
+
+    def _build_data_handles(
+        self,
+        snapshot,
+        capacity: int,
+        worker_faults: WorkerFaultPlan | None,
+        workers_per_shard: int,
+    ) -> dict[int, ShardWorkerHandle]:
+        """Partition the relation and build one data-shard handle each.
+
+        Blocks are assigned in *canonical* (ascending global block id)
+        order, so each shard's sub-snapshot inherits exactly its slice
+        of the global tie-break contract and the coordinator's merge
+        can replay the unsharded scan bit-for-bit.  Alongside each
+        shard's payload the coordinator keeps the shard's *hull bound*
+        — ``(union rect of its blocks, smallest member block id)`` —
+        the guaranteed lower bound used when the shard dies before
+        ever answering a query.
+        """
+        canonical = snapshot.canonical()
+        members, hulls = partition_blocks(canonical, self.plan)
+        counts = canonical.counts.astype(np.int64)
+        g_starts = np.zeros(canonical.n_blocks + 1, dtype=np.int64)
+        np.cumsum(counts, out=g_starts[1:])
+        # The worker-side statistics manager runs over the shard's own
+        # points; a layout permutation sized for the full relation
+        # would be wrong there.
+        data_kwargs = {
+            key: value
+            for key, value in self._manager_kwargs.items()
+            if key != "layout_orders"
+        }
+        self._hull_bounds: dict[int, tuple[tuple, int]] = {}
+        handles: dict[int, ShardWorkerHandle] = {}
+        for sid in range(self.plan.n_shards):
+            rows_m = members[sid]
+            if rows_m.size:
+                rows = np.concatenate(
+                    [
+                        np.asarray(
+                            self.table.block_row_ids(int(canonical.block_ids[m])),
+                            dtype=np.int64,
+                        )
+                        for m in rows_m
+                    ]
+                )
+                gpos = np.concatenate(
+                    [
+                        np.arange(g_starts[m], g_starts[m + 1], dtype=np.int64)
+                        for m in rows_m
+                    ]
+                )
+                self._hull_bounds[sid] = (
+                    hulls[sid],
+                    int(canonical.block_ids[rows_m[0]]),
+                )
+            else:
+                rows = np.empty(0, dtype=np.int64)
+                gpos = np.empty(0, dtype=np.int64)
+            payload = {
+                "snapshot": canonical.extract(rows_m),
+                "rows": rows,
+                "points": np.ascontiguousarray(self.table.points[rows]),
+                "gpos": gpos,
+                "capacity": capacity,
+                "manager_kwargs": data_kwargs,
+            }
+            handles[sid] = ShardWorkerHandle(
+                sid,
+                np.empty((0, 2), dtype=float),
+                capacity,
+                data_kwargs,
+                fault_plan=worker_faults,
+                workers=workers_per_shard,
+                backend=active_backend(),
+                init_payload=payload,
+                serve_fn=_serve_data_shard_chunk,
+            )
+        # Coordinator-side plan arbitration mirrors the unsharded
+        # planner: same selection chain (pins included), same staleness
+        # policy, same estimator tier vocabulary — only the cost
+        # numbers come from the cross-shard estimate merge.
+        self._arbiter = StatisticsManager(**data_kwargs)
+        self._arbiter.register(self.table)
+        self._arbiter_tiers = _estimator_tiers(
+            self._arbiter.select_estimator_for_planning(self.table.name), "staircase"
+        )
+        return handles
 
     # ------------------------------------------------------------------
     # Serving
@@ -282,8 +490,13 @@ class ShardedServingTier:
         if self.admission is not None:
             self.admission.admit(n, deadline.remaining())
         start = time.perf_counter()
+        serve = (
+            self._serve_admitted_data
+            if self.shard_mode == "data"
+            else self._serve_admitted
+        )
         try:
-            report = self._serve_admitted(batch, deadline, effective_deadline)
+            report = serve(batch, deadline, effective_deadline)
         finally:
             if self.admission is not None:
                 self.admission.release(n, time.perf_counter() - start)
@@ -358,8 +571,10 @@ class ShardedServingTier:
             latencies_us=latencies_us,
             shard_ids=shard_ids,
             degraded=degraded,
+            partial=np.zeros(n, dtype=bool),
             shards=shard_reports,
             deadline_ms=deadline_ms,
+            shard_mode="replica",
         )
 
     def _serve_stream(
@@ -385,7 +600,7 @@ class ShardedServingTier:
             }
             chunk_start = time.perf_counter()
             try:
-                chunk_results, chunk_explanations, _attempts = (
+                (chunk_results, chunk_explanations), _attempts = (
                     self.supervisor.serve_chunk(shard_id, payload, deadline)
                 )
             except ShardUnavailable:
@@ -430,6 +645,8 @@ class ShardedServingTier:
         )
         for offset, workload_i in enumerate(degraded_idx):
             k = int(batch.ks[workload_i])
+            sid = int(shard_ids[workload_i])
+            where = "all data shards" if sid < 0 else f"shard {sid}"
             results[workload_i] = None
             explanations[workload_i] = PlanExplanation(
                 chosen=DEGRADED_PLAN,
@@ -438,10 +655,452 @@ class ShardedServingTier:
                 estimator_tier="uniform-model",
                 degraded=True,
                 notes=[
-                    f"shard {int(shard_ids[workload_i])} unavailable; "
+                    f"{where} unavailable; "
                     "estimate-only answer from the coordinator's local fallback"
                 ],
             )
+
+    # ------------------------------------------------------------------
+    # Data-shard serving: fan out, stream, merge
+    # ------------------------------------------------------------------
+    def _serve_admitted_data(
+        self, batch: QueryBatch, deadline: Deadline, deadline_ms: float | None
+    ) -> ShardedServingReport:
+        """Serve one batch in data-shard mode: every query, every shard.
+
+        Chunks run concurrently (pipelined through the worker pools);
+        within a chunk the coordinator drives the merge protocol of
+        :mod:`repro.serving.merge` — open, arbitrate, then resume/scan
+        rounds until every query is answered.
+        """
+        n = len(batch)
+        shard_ids = np.full(n, -1, dtype=np.int64)
+        results: list = [None] * n
+        explanations: list = [None] * n
+        latencies_us = np.zeros(n, dtype=float)
+        degraded = np.zeros(n, dtype=bool)
+        partial = np.zeros(n, dtype=bool)
+        counters_before = {
+            sid: self._counter_snapshot(sid) for sid in self.supervisor.shard_ids
+        }
+        rounds_total = dict.fromkeys(self.supervisor.shard_ids, 0)
+        gaps_total = dict.fromkeys(self.supervisor.shard_ids, 0)
+        chunks = [
+            np.arange(lo, min(lo + self.chunk_size, n), dtype=np.int64)
+            for lo in range(0, n, self.chunk_size)
+        ]
+        start = time.perf_counter()
+        if chunks:
+            with ThreadPoolExecutor(
+                max_workers=min(len(chunks), max(1, self._workers_per_shard))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._serve_data_chunk,
+                        chunk_idx,
+                        batch,
+                        deadline,
+                        results,
+                        explanations,
+                        latencies_us,
+                        degraded,
+                        partial,
+                    )
+                    for chunk_idx in chunks
+                ]
+                for future in futures:
+                    rounds, gaps = future.result()
+                    for sid in rounds_total:
+                        rounds_total[sid] += rounds[sid]
+                        gaps_total[sid] += gaps[sid]
+        if self.strict and partial.any():
+            raise ShardExhaustedError(
+                f"{int(np.count_nonzero(partial))} of {n} queries lost shard "
+                "coverage (partial answers) and strict serving forbids "
+                "degradation"
+            )
+        self._fill_degraded(batch, shard_ids, degraded, results, explanations)
+        seconds = time.perf_counter() - start
+        shard_reports = tuple(
+            self._shard_report(
+                sid, n, rounds_total[sid], gaps_total[sid], counters_before[sid]
+            )
+            for sid in self.supervisor.shard_ids
+        )
+        return ShardedServingReport(
+            mode="sharded",
+            n_queries=n,
+            seconds=seconds,
+            results=results,
+            explanations=explanations,
+            cache_hits=None,
+            cache_misses=None,
+            latencies_us=latencies_us,
+            shard_ids=shard_ids,
+            degraded=degraded,
+            partial=partial,
+            shards=shard_reports,
+            deadline_ms=deadline_ms,
+            shard_mode="data",
+        )
+
+    def _fan_out(
+        self,
+        payloads: dict[int, dict],
+        deadline: Deadline,
+        rounds: dict[int, int],
+        dead: set[int],
+    ) -> dict[int, dict]:
+        """One protocol round against several shards, concurrently.
+
+        A shard that exhausts its supervision budget joins ``dead`` for
+        the rest of this chunk; its absence from the returned answers
+        is how the callers learn about the coverage gap.
+        """
+        answers: dict[int, dict] = {}
+        live = {sid: p for sid, p in payloads.items() if sid not in dead}
+        if not live:
+            return answers
+        with ThreadPoolExecutor(max_workers=len(live)) as pool:
+            futures = {
+                sid: pool.submit(self.supervisor.serve_chunk, sid, payload, deadline)
+                for sid, payload in live.items()
+            }
+            for sid, future in futures.items():
+                rounds[sid] += 1
+                try:
+                    answer, __ = future.result()
+                except ShardUnavailable:
+                    dead.add(sid)
+                else:
+                    answers[sid] = answer
+        return answers
+
+    def _dead_bound(self, sid: int, point: Point) -> tuple | None:
+        """A never-answering shard's hull bound for one query.
+
+        ``(MINDIST to the union rect of its blocks, smallest member
+        block id, same MINDIST as stop threshold)`` — conservative
+        (the true nearest block can only be farther), which keeps
+        exact-at-the-bound finishes and partial prefixes safe.
+        ``None`` for a shard that owns no blocks (no possible gap).
+        """
+        hull = self._hull_bounds.get(sid)
+        if hull is None:
+            return None
+        rect, gid = hull
+        mindist = mindist_point_rect(point, Rect(*rect))
+        return (mindist, gid, mindist)
+
+    def _serve_data_chunk(
+        self,
+        chunk_idx: np.ndarray,
+        batch: QueryBatch,
+        deadline: Deadline,
+        results: list,
+        explanations: list,
+        latencies_us: np.ndarray,
+        degraded: np.ndarray,
+        partial: np.ndarray,
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """Drive one chunk through the full merge protocol.
+
+        Writes land at disjoint workload indices across chunks, so the
+        shared output arrays need no locking.  Returns per-shard
+        ``(rounds submitted, coverage-gap queries)`` for the batch's
+        shard reports.
+        """
+        chunk_start = time.perf_counter()
+        pts = batch.points[chunk_idx]
+        ks = batch.ks[chunk_idx]
+        m = int(chunk_idx.size)
+        all_sids = self.supervisor.shard_ids
+        rounds = dict.fromkeys(all_sids, 0)
+        gap_counts = dict.fromkeys(all_sids, 0)
+        dead: set[int] = set()
+        open_payload = {"round": "open", "points": pts, "ks": ks}
+        answers = self._fan_out(
+            {sid: open_payload for sid in all_sids}, deadline, rounds, dead
+        )
+        if not answers:
+            # Every shard down: estimate-only degradation, as in
+            # replica mode (there is nothing to merge).
+            degraded[chunk_idx] = True
+            for sid in dead:
+                gap_counts[sid] += m
+            latencies_us[chunk_idx] = (time.perf_counter() - chunk_start) / m * 1e6
+            return rounds, gap_counts
+        live = sorted(answers)
+        estimates = {sid: answers[sid]["estimates"] for sid in live}
+        filter_pos: list[int] = []
+        inc_pos: list[int] = []
+        for i in range(m):
+            cost_inc, tier, est_degraded = merge_select_estimates(
+                [estimates[sid][0][i] for sid in live],
+                [estimates[sid][1][i] for sid in live],
+                [estimates[sid][2][i] for sid in live],
+                self._guaranteed_bound,
+            )
+            explanation = self._arbitrate(
+                Point(float(pts[i, 0]), float(pts[i, 1])),
+                int(ks[i]),
+                cost_inc,
+                tier,
+                est_degraded or bool(dead),
+            )
+            explanations[chunk_idx[i]] = explanation
+            if explanation.chosen == FilterThenKnnOperator.name:
+                filter_pos.append(i)
+            else:
+                inc_pos.append(i)
+        if filter_pos:
+            self._serve_filter_group(
+                filter_pos, pts, ks, chunk_idx, answers, dead, deadline,
+                rounds, gap_counts, results, explanations, partial,
+            )
+        if inc_pos:
+            self._serve_incremental_group(
+                inc_pos, pts, ks, chunk_idx, answers, dead, deadline,
+                rounds, gap_counts, results, explanations, partial,
+            )
+        latencies_us[chunk_idx] = (time.perf_counter() - chunk_start) / m * 1e6
+        return rounds, gap_counts
+
+    def _serve_filter_group(
+        self,
+        filter_pos: list[int],
+        pts: np.ndarray,
+        ks: np.ndarray,
+        chunk_idx: np.ndarray,
+        answers: dict[int, dict],
+        dead: set[int],
+        deadline: Deadline,
+        rounds: dict[int, int],
+        gap_counts: dict[int, int],
+        results: list,
+        explanations: list,
+        partial: np.ndarray,
+    ) -> None:
+        """Full-scan-chosen queries: one scan round, one global merge.
+
+        Each surviving shard returns its local top-k with global
+        ``(distance, concatenation position)`` tie keys;
+        :func:`~repro.serving.merge.merge_filter_topk` reproduces the
+        unsharded full scan's stable emission.  Dead shards clamp the
+        answer to the verified prefix below their tightest known bound.
+        """
+        fidx = np.asarray(filter_pos, dtype=np.int64)
+        payload = {"round": "scan", "points": pts[fidx], "ks": ks[fidx]}
+        scan_answers = self._fan_out(
+            {sid: payload for sid in answers if sid not in dead},
+            deadline,
+            rounds,
+            dead,
+        )
+        for j, i in enumerate(filter_pos):
+            k = int(ks[i])
+            point = Point(float(pts[i, 0]), float(pts[i, 1]))
+            rows, dists = merge_filter_topk(
+                k, [scan_answers[sid]["topk"][j] for sid in sorted(scan_answers)]
+            )
+            t_gap = None
+            gap_sids: list[int] = []
+            for sid in sorted(dead):
+                state = answers.get(sid)
+                if state is not None:
+                    entries, __, bound = state["streams"][i]
+                    if entries:
+                        shard_min = float(entries[0][0])
+                    elif bound is not None:
+                        shard_min = float(bound[0])
+                    else:
+                        continue  # stream spent: shard holds no rows here
+                else:
+                    hull_bound = self._dead_bound(sid, point)
+                    if hull_bound is None:
+                        continue  # shard owns no blocks: no gap
+                    shard_min = float(hull_bound[0])
+                gap_sids.append(sid)
+                t_gap = shard_min if t_gap is None else min(t_gap, shard_min)
+            workload_i = int(chunk_idx[i])
+            blocks_scanned = int(self._guaranteed_bound)
+            if t_gap is None:
+                results[workload_i] = ExecutionResult(
+                    FilterThenKnnOperator.name, blocks_scanned, row_ids=rows
+                )
+            else:
+                keep = rows[dists < t_gap]
+                results[workload_i] = ExecutionResult(
+                    FilterThenKnnOperator.name, blocks_scanned, row_ids=keep
+                )
+                partial[workload_i] = True
+                for sid in gap_sids:
+                    gap_counts[sid] += 1
+                explanation = explanations[workload_i]
+                explanation.degraded = True
+                explanation.notes.append(
+                    f"{PARTIAL_PLAN}: shards {gap_sids} unreachable; verified "
+                    f"prefix of {int(keep.shape[0])} row(s) below bound {t_gap:.6g}"
+                )
+
+    def _serve_incremental_group(
+        self,
+        inc_pos: list[int],
+        pts: np.ndarray,
+        ks: np.ndarray,
+        chunk_idx: np.ndarray,
+        answers: dict[int, dict],
+        dead: set[int],
+        deadline: Deadline,
+        rounds: dict[int, int],
+        gap_counts: dict[int, int],
+        results: list,
+        explanations: list,
+        partial: np.ndarray,
+    ) -> None:
+        """Distance-browsing-chosen queries: the streaming merge loop.
+
+        Each query's :class:`~repro.serving.merge.QueryMerge` replays
+        the global block admission; queries that starve a stream are
+        batched into one resume round per shard per iteration, so the
+        coordinator's round trips scale with merge depth, not with
+        queries × shards.
+        """
+        merges: dict[int, QueryMerge] = {}
+        for i in inc_pos:
+            point = Point(float(pts[i, 0]), float(pts[i, 1]))
+            merge = QueryMerge(int(ks[i]))
+            for sid in self.supervisor.shard_ids:
+                state = answers.get(sid)
+                if state is not None:
+                    entries, cursor, bound = state["streams"][i]
+                    merge.add_stream(sid, entries, cursor, bound)
+                    if sid in dead:  # answered open, died since
+                        merge.mark_dead(sid)
+                else:
+                    hull_bound = self._dead_bound(sid, point)
+                    if hull_bound is not None:
+                        merge.add_dead(sid, hull_bound)
+            merges[i] = merge
+        pending = dict(merges)
+        while pending:
+            needs_by_shard: dict[int, list[tuple[int, int, int, float]]] = {}
+            for i in list(pending):
+                needs = pending[i].advance()
+                if needs is None:
+                    del pending[i]
+                    continue
+                for sid, (cursor, min_points, min_mindist) in needs.items():
+                    needs_by_shard.setdefault(sid, []).append(
+                        (i, cursor, min_points, min_mindist)
+                    )
+            if not pending:
+                break
+            already_dead = set(dead)
+            payloads = {}
+            for sid, requests in needs_by_shard.items():
+                ridx = np.asarray([r[0] for r in requests], dtype=np.int64)
+                payloads[sid] = {
+                    "round": "resume",
+                    "points": pts[ridx],
+                    "ks": ks[ridx],
+                    "cursors": np.asarray([r[1] for r in requests], dtype=np.int64),
+                    "min_points": np.asarray([r[2] for r in requests], dtype=np.int64),
+                    "min_mindists": np.asarray([r[3] for r in requests], dtype=float),
+                }
+            resume_answers = self._fan_out(payloads, deadline, rounds, dead)
+            for sid, requests in needs_by_shard.items():
+                if sid in resume_answers:
+                    streams = resume_answers[sid]["streams"]
+                    for j, (i, __, ___, ____) in enumerate(requests):
+                        if i in pending:
+                            entries, cursor, bound = streams[j]
+                            pending[i].streams[sid].extend(entries, cursor, bound)
+            # A shard lost this iteration becomes a permanent coverage
+            # gap for every still-running merge (its last known bound
+            # stays as the gap bound).
+            for sid in dead - already_dead:
+                for merge in pending.values():
+                    if sid in merge.streams:
+                        merge.mark_dead(sid)
+        for i, merge in merges.items():
+            rows, blocks_scanned, n_verified = merge.result()
+            workload_i = int(chunk_idx[i])
+            results[workload_i] = ExecutionResult(
+                IncrementalKnnOperator.name, blocks_scanned, row_ids=rows
+            )
+            if merge.partial:
+                partial[workload_i] = True
+                for sid in merge.gap_shards:
+                    gap_counts[sid] += 1
+                explanation = explanations[workload_i]
+                explanation.degraded = True
+                explanation.notes.append(
+                    f"{PARTIAL_PLAN}: shards {list(merge.gap_shards)} unreachable; "
+                    f"verified prefix of {n_verified} row(s) below bound "
+                    f"{merge.t_gap:.6g}"
+                )
+
+    def _arbitrate(
+        self,
+        point: Point,
+        k: int,
+        cost_incremental: float,
+        tier: str,
+        est_degraded: bool,
+    ) -> PlanExplanation:
+        """Arbitrate one query's plan over the merged shard estimates.
+
+        Mirrors the unsharded planner's
+        ``_assemble_select_explanation``: the same candidate set, tie
+        order, selection chain (pins included), and per-link trail —
+        only the incremental cost comes from the cross-shard estimate
+        merge, and the tier label is the worst shard's.
+        """
+        alternatives = {
+            FilterThenKnnOperator.name: self._guaranteed_bound,
+            IncrementalKnnOperator.name: cost_incremental,
+        }
+        explanation = PlanExplanation(
+            chosen="",
+            alternatives=alternatives,
+            effective_k=k,
+            selectivity=1.0,
+            kernel_backend=active_backend(),
+        )
+        catalog_generation, data_generation = self._arbiter.catalog_freshness(
+            self.table.name
+        )
+        context = PlanningContext(
+            kind="select",
+            table=self.table.name,
+            candidates=alternatives,
+            tie_order=(FilterThenKnnOperator.name, IncrementalKnnOperator.name),
+            estimator_tiers=self._arbiter_tiers,
+            estimate_operators=(
+                IncrementalKnnOperator.name,
+                RegionPrunedKnnOperator.name,
+            ),
+            estimate_tier=tier,
+            estimate_degraded=est_degraded,
+            data_generation=data_generation,
+            catalog_generation=catalog_generation,
+            staleness_policy=self._arbiter.staleness_policy,
+            cache_stats=self._arbiter.cache_stats(),
+            cache_hit=None,
+            effective_k=k,
+            selectivity=1.0,
+        )
+        query = KnnSelectQuery(self.table.name, point, k=k)
+        _run_chain(self._arbiter, query, explanation, context)
+        explanation.estimator_tier = tier
+        explanation.degraded = est_degraded
+        if est_degraded:
+            explanation.notes.append(
+                "merged shard estimates degraded (worst answering tier "
+                f"{tier or 'unknown'!r})"
+            )
+        return explanation
 
     # ------------------------------------------------------------------
     # Provenance
@@ -478,6 +1137,96 @@ class ShardedServingTier:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def start(self) -> "ShardedServingTier":
+        """Spawn every shard's worker pool eagerly and wait until live.
+
+        Long-lived callers pay the spawn (and per-worker engine or
+        sub-snapshot build) exactly once here instead of on the first
+        served batch; :attr:`pools_spawned` then stays at
+        ``n_shards`` across any number of :meth:`serve` /
+        :meth:`serve_many` calls unless a worker crashes and is
+        respawned.  Returns ``self`` so ``tier.start()`` chains with
+        the context-manager form.
+        """
+        handles = [self.supervisor.handle(sid) for sid in self.supervisor.shard_ids]
+        with ThreadPoolExecutor(max_workers=len(handles)) as pool:
+            for future in [pool.submit(handle.spawn) for handle in handles]:
+                future.result()
+        return self
+
+    @property
+    def pools_spawned(self) -> int:
+        """Total pool incarnations ever created across all shards."""
+        return sum(
+            self.supervisor.handle(sid).spawned for sid in self.supervisor.shard_ids
+        )
+
+    @property
+    def shipped_bytes(self) -> dict[int, int]:
+        """Per-shard bytes of data shipped to each worker's initializer.
+
+        Deterministic (independent of allocator behavior), which makes
+        it the benchmark's primary memory-sublinearity measure: in data
+        mode each shard receives roughly ``1/n_shards`` of the replica
+        payload.
+        """
+        return {
+            sid: self.supervisor.handle(sid).shipped_bytes
+            for sid in self.supervisor.shard_ids
+        }
+
+    def worker_stats(self, timeout: float = 30.0) -> list[dict]:
+        """Live per-shard worker telemetry (peak RSS, payload bytes)."""
+        futures = [
+            self.supervisor.handle(sid).submit_fn(_worker_stats)[1]
+            for sid in self.supervisor.shard_ids
+        ]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def serve_many(
+        self,
+        batches,
+        deadline_ms: float | None | object = _UNSET,
+        max_in_flight: int = 4,
+    ) -> ServeManyReport:
+        """Serve several batches pipelined through the live worker pools.
+
+        Up to ``max_in_flight`` batches are in flight at once, so one
+        batch's merge rounds interleave with another's through the same
+        worker processes instead of serializing at the tier boundary.
+        Admission refusals (:class:`~repro.resilience.errors.OverloadError`)
+        are recorded per batch — ``reports[i]`` is ``None`` — rather
+        than failing the run.  Per-query latencies are concatenated
+        across batches, so the report's percentiles describe queries.
+        """
+        batches = list(batches)
+        reports: list = [None] * len(batches)
+        n_overloaded = 0
+        start = time.perf_counter()
+        if batches:
+            with ThreadPoolExecutor(max_workers=max(1, int(max_in_flight))) as pool:
+                futures = {
+                    pool.submit(self.serve, b, deadline_ms): i
+                    for i, b in enumerate(batches)
+                }
+                for future, i in futures.items():
+                    try:
+                        reports[i] = future.result()
+                    except OverloadError:
+                        n_overloaded += 1
+        seconds = time.perf_counter() - start
+        served = [r.latencies_us for r in reports if r is not None]
+        latencies = (
+            np.concatenate(served) if served else np.empty(0, dtype=float)
+        )
+        return ServeManyReport(
+            reports=tuple(reports),
+            n_batches=len(batches),
+            n_overloaded=n_overloaded,
+            seconds=seconds,
+            latencies_us=latencies,
+        )
+
     def close(self) -> None:
         """Terminate every shard's worker pool."""
         self.supervisor.close()

@@ -15,13 +15,18 @@ semantics as quadtree leaves, so every in-universe focal point maps to
 exactly one shard with one broadcast pass.  Out-of-universe points are
 routed to the shard with the smallest MINDIST — routing never fails.
 
-Note the tier shards the *query space*, not the data: every worker
-holds a full replica of the (pickle-shipped) point set, which is what
-makes per-shard answers bit-identical to an unsharded engine and lets
-any healthy shard absorb a degraded sibling's region without a data
-migration.  Spatial routing still matters — it gives each worker a
-spatially coherent query stream (catalog and estimate-cache locality)
-and confines a shard failure to one region's traffic.
+The same plan drives both serving modes.  In **replica** mode the
+plan shards the *query space*: every worker holds a full replica of
+the point set, per-shard answers are trivially bit-identical to an
+unsharded engine, and any healthy shard can absorb a degraded
+sibling's region without a data migration.  In **data** mode
+(:func:`partition_blocks`) the plan shards the *data*: each index
+block is assigned to the shard containing its center, each worker
+receives only its blocks' rows (memory ∝ n/shards), and queries are
+answered by the streaming cross-shard merge in
+:mod:`repro.serving.merge`.  Either way, spatial routing gives each
+worker a spatially coherent stream (catalog and estimate-cache
+locality) and confines a shard failure to one region.
 """
 
 from __future__ import annotations
@@ -158,6 +163,49 @@ def plan_shards(index_or_snapshot, n_shards: int) -> ShardPlan:
         [int(counts[members].sum()) for __, members in regions], dtype=np.int64
     )
     return ShardPlan(rects=rects, bounds=tuple(float(v) for v in bounds), weights=weights)
+
+
+def partition_blocks(
+    snapshot: IndexSnapshot, plan: ShardPlan
+) -> tuple[list[np.ndarray], list[tuple[float, float, float, float] | None]]:
+    """Assign a canonical snapshot's blocks to the plan's shards.
+
+    Each block goes to the shard containing its center (MINDIST
+    fallback for centers outside the universe — same routing as
+    queries).  Member lists are ascending canonical row indices, so
+    :meth:`~repro.index.snapshot.IndexSnapshot.extract` yields each
+    shard a canonical sub-snapshot whose position tie-breaks are the
+    global contract's restriction to that shard.
+
+    Returns:
+        ``(members, hulls)`` — per shard, the ascending member row
+        indices and the union bounding rect of the member block rects
+        (``None`` for a shard that owns no blocks).  The hull is the
+        coordinator's *guaranteed lower bound* for a shard that dies
+        before ever answering: no row of the shard can be nearer than
+        the hull's MINDIST.
+    """
+    if snapshot.layout != "canonical":
+        raise ValueError("partition_blocks needs a canonical snapshot")
+    ids = plan.assign(snapshot.centers)
+    members: list[np.ndarray] = []
+    hulls: list[tuple[float, float, float, float] | None] = []
+    for sid in range(plan.n_shards):
+        rows = np.flatnonzero(ids == sid).astype(np.int64)
+        members.append(rows)
+        if rows.size == 0:
+            hulls.append(None)
+            continue
+        rects = snapshot.rects[rows]
+        hulls.append(
+            (
+                float(rects[:, 0].min()),
+                float(rects[:, 1].min()),
+                float(rects[:, 2].max()),
+                float(rects[:, 3].max()),
+            )
+        )
+    return members, hulls
 
 
 def _weighted_median(values: np.ndarray, weights: np.ndarray, lo: float, hi: float) -> float:

@@ -45,7 +45,12 @@ import numpy as np
 
 from repro.resilience.fallback import _TierHealth
 from repro.resilience.faultinject import WorkerFaultPlan
-from repro.serving.worker import _init_shard_worker, _serve_shard_chunk
+from repro.serving.worker import (
+    _init_data_shard_worker,
+    _init_shard_worker,
+    _serve_shard_chunk,
+    _worker_ping,
+)
 
 #: Default per-chunk timeout when no deadline bounds the batch.
 DEFAULT_CHUNK_TIMEOUT = 30.0
@@ -134,6 +139,14 @@ class ShardWorkerHandle:
     the next :meth:`submit` spawns a fresh one with an incremented
     incarnation number (shipped to the worker initializer, where the
     fault plan consults it).
+
+    Replica shards (the default) initialize each worker with the full
+    point set and serve through ``_serve_shard_chunk``.  Data shards
+    pass ``init_payload`` (the sub-snapshot bundle for
+    ``_init_data_shard_worker``) and their own ``serve_fn``; the
+    supervision contract is identical either way.  ``spawned`` counts
+    pool incarnations ever created — the long-lived-tier benchmarks
+    and the scale-smoke job assert it stays at one.
     """
 
     def __init__(
@@ -145,17 +158,35 @@ class ShardWorkerHandle:
         fault_plan: WorkerFaultPlan | None = None,
         workers: int = 1,
         backend: str = "numpy",
+        init_payload: dict | None = None,
+        serve_fn=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.shard_id = int(shard_id)
         self.incarnation = -1  # bumped to 0 on first spawn
+        self.spawned = 0
         self._points = np.ascontiguousarray(points, dtype=float)
         self._capacity = int(capacity)
         self._manager_kwargs = dict(manager_kwargs)
         self._fault_plan = fault_plan
         self._workers = int(workers)
         self._backend = str(backend)
+        self._init_payload = init_payload
+        self._serve_fn = serve_fn or _serve_shard_chunk
+        if init_payload is None:
+            self.shipped_bytes = int(self._points.nbytes)
+        else:
+            snapshot = init_payload["snapshot"]
+            self.shipped_bytes = int(
+                snapshot.rects.nbytes
+                + snapshot.counts.nbytes
+                + snapshot.centers.nbytes
+                + snapshot.block_ids.nbytes
+                + np.asarray(init_payload["rows"]).nbytes
+                + np.asarray(init_payload["points"]).nbytes
+                + np.asarray(init_payload["gpos"]).nbytes
+            )
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -163,11 +194,10 @@ class ShardWorkerHandle:
         with self._lock:
             if self._pool is None:
                 self.incarnation += 1
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    mp_context=multiprocessing.get_context("spawn"),
-                    initializer=_init_shard_worker,
-                    initargs=(
+                self.spawned += 1
+                if self._init_payload is None:
+                    initializer = _init_shard_worker
+                    initargs = (
                         self.shard_id,
                         self.incarnation,
                         self._points,
@@ -175,9 +205,34 @@ class ShardWorkerHandle:
                         self._manager_kwargs,
                         self._fault_plan,
                         self._backend,
-                    ),
+                    )
+                else:
+                    initializer = _init_data_shard_worker
+                    initargs = (
+                        self.shard_id,
+                        self.incarnation,
+                        self._init_payload,
+                        self._fault_plan,
+                        self._backend,
+                    )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=initializer,
+                    initargs=initargs,
                 )
             return self._pool
+
+    def spawn(self) -> None:
+        """Eagerly spawn the pool and wait for every worker to be live.
+
+        One :func:`~repro.serving.worker._worker_ping` per worker slot,
+        resolved before returning — ``start()`` uses this so the first
+        served batch pays no spawn latency.
+        """
+        pool = self._ensure_pool()
+        for future in [pool.submit(_worker_ping) for __ in range(self._workers)]:
+            future.result()
 
     def submit(self, payload: dict):
         """Submit one chunk; returns ``(pool, future)``.
@@ -187,7 +242,12 @@ class ShardWorkerHandle:
         swapped in a replacement.
         """
         pool = self._ensure_pool()
-        return pool, pool.submit(_serve_shard_chunk, payload)
+        return pool, pool.submit(self._serve_fn, payload)
+
+    def submit_fn(self, fn, *args):
+        """Submit an arbitrary function to the pool (telemetry RPCs)."""
+        pool = self._ensure_pool()
+        return pool, pool.submit(fn, *args)
 
     def retire(self, pool: ProcessPoolExecutor) -> None:
         """Kill one pool incarnation (hung or poisoned) for respawn.
@@ -292,12 +352,14 @@ class ShardSupervisor:
 
     def serve_chunk(
         self, shard_id: int, payload: dict, deadline: Deadline
-    ) -> tuple[list, list, list[str]]:
+    ) -> tuple[object, list[str]]:
         """Serve one chunk on one shard under the full supervision contract.
 
         Returns:
-            ``(results, explanations, attempts)`` — per-query outputs in
-            chunk order plus the attempt log.
+            ``(answer, attempts)`` — whatever the shard's serve
+            function returned (replica chunks: ``(results,
+            explanations)``; data-shard rounds: the round's reply
+            dict), plus the attempt log.
 
         Raises:
             ShardUnavailable: After the retry budget (or an open
@@ -328,7 +390,7 @@ class ShardSupervisor:
                 pool, future = handle.submit(
                     dict(payload, budget_seconds=timeout)
                 )
-                results, explanations = future.result(timeout=timeout + _TIMEOUT_GRACE)
+                answer = future.result(timeout=timeout + _TIMEOUT_GRACE)
             except BrokenExecutor:
                 counters.bump(respawns=1, failures=1)
                 health.record_failure(policy.breaker_threshold, policy.breaker_cooldown)
@@ -352,7 +414,7 @@ class ShardSupervisor:
             else:
                 health.record_success()
                 attempts.append("ok")
-                return results, explanations, attempts
+                return answer, attempts
             self._backoff(shard_id, attempt, deadline)
         raise ShardUnavailable(shard_id, attempts)
 

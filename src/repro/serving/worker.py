@@ -66,11 +66,13 @@ def _init_shard_worker(
     set_backend(backend)
     engine = SpatialEngine(StatisticsManager(**manager_kwargs))
     engine.register(SpatialTable(SHARD_TABLE, points, capacity=capacity))
+    _WORKER_STATE.clear()
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["shard_id"] = int(shard_id)
     _WORKER_STATE["incarnation"] = int(incarnation)
     _WORKER_STATE["fault_plan"] = fault_plan
     _WORKER_STATE["batches_served"] = 0
+    _WORKER_STATE["payload_bytes"] = int(np.asarray(points).nbytes)
 
 
 def _serve_shard_chunk(payload: dict) -> tuple[list, list]:
@@ -121,3 +123,197 @@ def _serve_shard_chunk(payload: dict) -> tuple[list, list]:
             results.append(result)
             explanations.append(explanation)
     return results, explanations
+
+
+def _init_data_shard_worker(
+    shard_id: int,
+    incarnation: int,
+    payload: dict,
+    fault_plan: WorkerFaultPlan | None,
+    backend: str = "numpy",
+) -> None:
+    """Pool initializer for a *data* shard: only this shard's blocks.
+
+    ``payload`` carries the shard's canonical sub-snapshot (global
+    block ids preserved), the member blocks' global row ids and points
+    concatenated in canonical block order, and each row's position in
+    the *global* block-order concatenation (``gpos`` — the unsharded
+    full scan's tie-break key).  A local statistics manager over the
+    shard's own points answers the estimate round; the coordinator
+    sums costs and worst-cases tiers across shards.
+    """
+    from repro.engine import SpatialTable, StatisticsManager
+
+    set_backend(backend)
+    snapshot = payload["snapshot"]
+    rows = np.asarray(payload["rows"], dtype=np.int64)
+    points = np.asarray(payload["points"], dtype=float).reshape(-1, 2)
+    gpos = np.asarray(payload["gpos"], dtype=np.int64)
+    starts = np.zeros(snapshot.n_blocks + 1, dtype=np.int64)
+    np.cumsum(snapshot.counts, out=starts[1:])
+    stats = None
+    if points.shape[0]:
+        stats = StatisticsManager(**payload.get("manager_kwargs", {}))
+        stats.register(
+            SpatialTable(SHARD_TABLE, points, capacity=int(payload["capacity"]))
+        )
+    _WORKER_STATE.clear()
+    _WORKER_STATE["snapshot"] = snapshot
+    _WORKER_STATE["rows"] = rows
+    _WORKER_STATE["points"] = points
+    _WORKER_STATE["gpos"] = gpos
+    _WORKER_STATE["starts"] = starts
+    _WORKER_STATE["stats"] = stats
+    _WORKER_STATE["shard_id"] = int(shard_id)
+    _WORKER_STATE["incarnation"] = int(incarnation)
+    _WORKER_STATE["fault_plan"] = fault_plan
+    _WORKER_STATE["batches_served"] = 0
+    _WORKER_STATE["payload_bytes"] = int(
+        snapshot.rects.nbytes
+        + snapshot.counts.nbytes
+        + snapshot.centers.nbytes
+        + snapshot.block_ids.nbytes
+        + rows.nbytes
+        + points.nbytes
+        + gpos.nbytes
+    )
+
+
+def _stream_entries(stream, query_point, raw_entries) -> list:
+    """Wire-format stream entries: attach each block's rows + distances.
+
+    ``(mindist, global block id, scalar threshold, row_ids, dists)``
+    per entry — the distances are computed here, in the worker, over
+    the block's rows in canonical order, so the coordinator's merge
+    concatenation reproduces the unsharded browser's gather
+    bit-for-bit.
+    """
+    rows = _WORKER_STATE["rows"]
+    points = _WORKER_STATE["points"]
+    starts = _WORKER_STATE["starts"]
+    out = []
+    for mindist, block_id, threshold, local_row in raw_entries:
+        lo, hi = int(starts[local_row]), int(starts[local_row + 1])
+        block_pts = points[lo:hi]
+        dists = np.hypot(
+            block_pts[:, 0] - query_point.x, block_pts[:, 1] - query_point.y
+        )
+        out.append((mindist, block_id, threshold, rows[lo:hi], dists))
+    return out
+
+
+def _serve_data_shard_chunk(payload: dict) -> dict:
+    """Serve one round of the cross-shard merge protocol.
+
+    Three round kinds (``payload["round"]``):
+
+    * ``"open"`` — per query, the first ``k``-point prefix of the
+      shard's MINDIST-ordered block stream plus its resume bound, and
+      the local select-cost estimates for the coordinator's merged
+      :class:`~repro.engine.PlanExplanation`;
+    * ``"resume"`` — continue named queries' streams from their
+      cursors until ``min_points`` are gathered or ``min_mindist`` is
+      reached;
+    * ``"scan"`` — the shard's full-scan local top-k with global
+      tie-break keys, for queries whose plan chose the filter operator.
+
+    Rounds are stateless in the worker (streams are rebuilt from the
+    cursor), so a respawned incarnation resumes transparently and
+    retries are idempotent.  The fault plan fires per *round* —
+    ``batches_served`` counts rounds — which is how the chaos suite
+    kills a data shard mid-stream.
+    """
+    from repro.geometry import Point
+    from repro.knn.distance_browsing import SnapshotBlockStream
+
+    fault_plan = _WORKER_STATE["fault_plan"]
+    batch_index = _WORKER_STATE["batches_served"]
+    _WORKER_STATE["batches_served"] = batch_index + 1
+    if fault_plan is not None:
+        fault_plan.apply(
+            _WORKER_STATE["shard_id"], batch_index, _WORKER_STATE["incarnation"]
+        )
+    snapshot = _WORKER_STATE["snapshot"]
+    round_kind = payload["round"]
+    pts = np.asarray(payload["points"], dtype=float).reshape(-1, 2)
+    ks = np.asarray(payload["ks"], dtype=np.int64).reshape(-1)
+    budget = payload.get("budget_seconds")
+    start = time.perf_counter()
+    if round_kind == "open":
+        streams = []
+        for i in range(pts.shape[0]):
+            if i % BUDGET_SLICE == 0:
+                budget_check(start, budget, "shard stream open")
+            point = Point(float(pts[i, 0]), float(pts[i, 1]))
+            stream = SnapshotBlockStream(snapshot, point)
+            entries, cursor = stream.take(0, min_points=int(ks[i]))
+            streams.append(
+                (_stream_entries(stream, point, entries), cursor, stream.bound(cursor))
+            )
+        stats = _WORKER_STATE["stats"]
+        if stats is None:
+            estimates = (
+                [0.0] * pts.shape[0],
+                [""] * pts.shape[0],
+                [False] * pts.shape[0],
+            )
+        else:
+            costs, tiers, degraded = stats.estimate_select_provenance(
+                SHARD_TABLE, pts, ks
+            )
+            estimates = ([float(c) for c in costs], tiers, degraded)
+        return {"streams": streams, "estimates": estimates}
+    if round_kind == "resume":
+        cursors = np.asarray(payload["cursors"], dtype=np.int64).reshape(-1)
+        min_points = np.asarray(payload["min_points"], dtype=np.int64).reshape(-1)
+        min_mindists = np.asarray(payload["min_mindists"], dtype=float).reshape(-1)
+        streams = []
+        for i in range(pts.shape[0]):
+            if i % BUDGET_SLICE == 0:
+                budget_check(start, budget, "shard stream resume")
+            point = Point(float(pts[i, 0]), float(pts[i, 1]))
+            stream = SnapshotBlockStream(snapshot, point)
+            entries, cursor = stream.take(
+                int(cursors[i]),
+                min_points=int(min_points[i]),
+                min_mindist=float(min_mindists[i]),
+            )
+            streams.append(
+                (_stream_entries(stream, point, entries), cursor, stream.bound(cursor))
+            )
+        return {"streams": streams}
+    if round_kind == "scan":
+        rows = _WORKER_STATE["rows"]
+        points = _WORKER_STATE["points"]
+        gpos = _WORKER_STATE["gpos"]
+        topk = []
+        for i in range(pts.shape[0]):
+            if i % BUDGET_SLICE == 0:
+                budget_check(start, budget, "shard full scan")
+            if points.shape[0] == 0:
+                empty = np.empty(0, dtype=np.int64)
+                topk.append((empty, np.empty(0, dtype=float), empty))
+                continue
+            dists = np.hypot(points[:, 0] - pts[i, 0], points[:, 1] - pts[i, 1])
+            order = np.lexsort((gpos, dists))[: int(ks[i])]
+            topk.append((rows[order], dists[order], gpos[order]))
+        return {"topk": topk}
+    raise ValueError(f"unknown data-shard round {round_kind!r}")
+
+
+def _worker_ping() -> tuple[int, int]:
+    """Liveness probe used by eager tier spawn: ``(shard, incarnation)``."""
+    return _WORKER_STATE.get("shard_id", -1), _WORKER_STATE.get("incarnation", -1)
+
+
+def _worker_stats() -> dict:
+    """Worker-side memory telemetry for the benchmark's RSS recording."""
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "shard_id": _WORKER_STATE.get("shard_id", -1),
+        "incarnation": _WORKER_STATE.get("incarnation", -1),
+        "payload_bytes": _WORKER_STATE.get("payload_bytes", 0),
+        "ru_maxrss_kb": int(usage.ru_maxrss),
+    }

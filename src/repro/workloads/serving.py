@@ -127,6 +127,7 @@ def serve_workload(
     mode: str = "batch",
     *,
     shards: int = 4,
+    shard_mode: str = "replica",
     workers: int = 1,
     deadline_ms: float | None = None,
     tier_options: dict | None = None,
@@ -144,6 +145,9 @@ def serve_workload(
             sharded tier of :mod:`repro.serving` — one-shot: workers
             are spawned and torn down inside the call).
         shards: Shard count for ``"sharded"`` mode.
+        shard_mode: ``"replica"`` (each worker holds the full dataset)
+            or ``"data"`` (each worker holds one block-aligned slice
+            and the coordinator runs the streaming k-NN merge).
         workers: Worker processes per shard for ``"sharded"`` mode.
         deadline_ms: Per-batch deadline for ``"sharded"`` mode
             (``None`` = unbounded).
@@ -166,6 +170,7 @@ def serve_workload(
             engine.stats.table(table),
             batch,
             n_shards=shards,
+            shard_mode=shard_mode,
             workers_per_shard=workers,
             deadline_ms=deadline_ms,
             **(tier_options or {}),

@@ -250,3 +250,59 @@ class TestEstimateSelectBatch:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardedCli:
+    @pytest.fixture(scope="class")
+    def queries_csv(self, tmp_path_factory):
+        from repro.geometry import Rect
+        from repro.workloads import QueryBatch
+
+        path = tmp_path_factory.mktemp("cli_sharded") / "queries.csv"
+        batch = QueryBatch.uniform(Rect(0, 0, 100, 100), 40, 8, seed=9)
+        batch.to_csv(path)
+        return str(path)
+
+    @pytest.mark.parametrize("shard_mode", ["replica", "data"])
+    def test_shard_mode_serves_and_reports(
+        self, points_csv, queries_csv, capsys, shard_mode
+    ):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--batch", queries_csv,
+                "--shards", "2",
+                "--shard-mode", shard_mode,
+                "--max-k", "64", "--capacity", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mode:        sharded" in out
+        assert f"shard mode:  {shard_mode}" in out
+
+    def test_unknown_shard_mode_is_rejected(self, points_csv, queries_csv):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "estimate-select", points_csv,
+                    "--batch", queries_csv,
+                    "--shards", "2", "--shard-mode", "quantum",
+                ]
+            )
+
+
+class TestExplainTiming:
+    def test_explain_renders_per_link_elapsed(self, points_csv, capsys):
+        code = main(
+            [
+                "estimate-select", points_csv,
+                "--x", "50", "--y", "50", "-k", "8",
+                "--max-k", "64", "--capacity", "64", "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        link_lines = [line for line in out.splitlines() if "link " in line]
+        assert link_lines, out
+        assert all("us)" in line for line in link_lines), link_lines

@@ -87,6 +87,21 @@ class TestChainMechanics:
         assert assignment.operator == "filter-then-knn"
         assert assignment.pinned
 
+    def test_trail_entries_carry_per_link_timing(self):
+        assignment = _walk(default_selection_chain(), _context())
+        for decision in assignment.trail:
+            assert decision.elapsed_us > 0.0, decision
+            assert "us)" in decision.describe()
+
+    def test_untimed_decision_describe_omits_timing(self):
+        from repro.optimizer.selection import LinkDecision
+
+        decision = LinkDecision(
+            link="cost-based", action="chose", operator="incremental-knn"
+        )
+        assert decision.elapsed_us == 0.0
+        assert "us)" not in decision.describe()
+
     def test_build_selection_chain_presets(self):
         assert set(CHAIN_PRESETS) == {"default", "cost-only"}
         assert build_selection_chain("cost-only").describe() == "cost-based"

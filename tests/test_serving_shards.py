@@ -40,6 +40,7 @@ from repro.serving import (
     Deadline,
     ShardedServingTier,
     SupervisionPolicy,
+    partition_blocks,
     plan_shards,
     serve_sharded,
 )
@@ -479,3 +480,333 @@ def test_canonical_layout_skips_order_shipping(dataset):
         policy=CHAOS_POLICY,
     ) as tier:
         assert "layout_orders" not in tier._manager_kwargs
+
+
+# ----------------------------------------------------------------------
+# Data-shard mode: block partitioning, streaming merge, bit-identity
+# ----------------------------------------------------------------------
+def _assert_data_exact_matches_reference(report, reference, indices=None):
+    """Bit-identity for data-shard answers.
+
+    Unlike the replica helper this does NOT compare ``alternatives``:
+    the coordinator's arbiter sums per-shard estimates, which is
+    plan-equivalent but not numerically identical to the global
+    estimate.  Everything the executed plan depends on — row ids,
+    blocks scanned, chosen operator, effective k — must still match
+    bit for bit.
+    """
+    indices = range(len(reference)) if indices is None else indices
+    for i in indices:
+        if report.degraded[i] or report.partial[i]:
+            continue
+        ref_result, ref_explanation = reference[i]
+        result = report.results[i]
+        assert np.array_equal(result.row_ids, ref_result.row_ids), i
+        assert result.blocks_scanned == ref_result.blocks_scanned, i
+        explanation = report.explanations[i]
+        assert explanation.chosen == ref_explanation.chosen, i
+        assert explanation.effective_k == ref_explanation.effective_k, i
+
+
+def test_partition_blocks_covers_every_row(dataset):
+    from repro.index import as_snapshot
+
+    points, __ = dataset
+    table = _table(points)
+    snapshot = as_snapshot(table.index).canonical()
+    plan = plan_shards(table.index, 4)
+    members, hulls = partition_blocks(snapshot, plan)
+    assert len(members) == 4 and len(hulls) == 4
+    all_blocks = np.concatenate(members)
+    assert np.array_equal(np.sort(all_blocks), np.arange(snapshot.n_blocks))
+    for sid, member in enumerate(members):
+        if member.size == 0:
+            assert hulls[sid] is None
+            continue
+        x_min, y_min, x_max, y_max = hulls[sid]
+        rects = snapshot.rects[member]
+        assert x_min <= rects[:, 0].min() and x_max >= rects[:, 2].max()
+        assert y_min <= rects[:, 1].min() and y_max >= rects[:, 3].max()
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_data_sharding_is_bit_identical_to_unsharded(
+    substrate, dataset, reference
+):
+    points, batch = dataset
+    plan = plan_shards(_routing_index(substrate, points), 3)
+    report = serve_sharded(
+        _table(points),
+        batch,
+        shard_plan=plan,
+        shard_mode="data",
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    )
+    assert report.shard_mode == "data"
+    assert report.n_degraded == 0
+    assert not report.partial.any()
+    assert report.latencies_us is not None and report.p50_latency_us is not None
+    _assert_data_exact_matches_reference(report, reference)
+
+
+@pytest.mark.parametrize(
+    "operator", ["filter-then-knn", "incremental-knn"]
+)
+def test_data_sharding_matches_pinned_reference(operator, dataset):
+    """Pinned-operator legs: both physical paths, not just the arbiter's
+    favorite, are bit-identical under data sharding."""
+    points, batch = dataset
+    pins = {"select": operator}
+    engine = SpatialEngine(
+        StatisticsManager(max_k=MAX_K, pinned_operators=pins)
+    )
+    engine.register(SpatialTable("t", points, capacity=CAPACITY))
+    reference = engine.execute_batch(batch.as_knn_queries("t"))
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=4,
+        shard_mode="data",
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K, "pinned_operators": pins},
+        policy=CHAOS_POLICY,
+    )
+    assert report.n_degraded == 0 and not report.partial.any()
+    for i, (ref_result, ref_explanation) in enumerate(reference):
+        assert ref_explanation.chosen == operator, i
+        assert report.explanations[i].chosen == operator, i
+    _assert_data_exact_matches_reference(report, reference)
+
+
+def test_replica_mode_reports_no_partials(dataset):
+    points, batch = dataset
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=2,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    )
+    assert report.shard_mode == "replica"
+    assert report.partial.shape == (N_QUERIES,)
+    assert not report.partial.any()
+
+
+def test_dead_data_shard_yields_partial_prefix_answers(dataset, reference):
+    """Kill 1 of 4 data shards permanently: queries needing its blocks
+    come back ``partial`` — a verified prefix of the true answer,
+    clamped by the surviving shards' bounds — and everything else stays
+    bit-identical."""
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=1, on_batch=None, incarnation=None)
+    )
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=4,
+        shard_mode="data",
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        worker_faults=faults,
+    )
+    assert 0 < report.n_partial < N_QUERIES
+    for i in np.flatnonzero(report.partial):
+        result = report.results[i]
+        ref_rows = reference[i][0].row_ids
+        # The partial answer is a verified prefix of the true top-k:
+        # every returned row is proven closer than anything the dead
+        # shard could have contributed.
+        assert np.array_equal(result.row_ids, ref_rows[: result.row_ids.size]), i
+        explanation = report.explanations[i]
+        assert explanation.degraded, i
+        assert any("partial" in note for note in explanation.notes), i
+    # Queries untouched by the gap are exact.
+    _assert_data_exact_matches_reference(report, reference)
+    gapped = next(s for s in report.shards if s.shard_id == 1)
+    assert gapped.degraded_queries == report.n_partial
+
+
+def test_strict_data_serving_raises_on_coverage_gap(dataset):
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=1, on_batch=None, incarnation=None)
+    )
+    with pytest.raises(ShardExhaustedError):
+        serve_sharded(
+            _table(points),
+            batch,
+            n_shards=4,
+            shard_mode="data",
+            chunk_size=64,
+            manager_kwargs={"max_k": MAX_K},
+            policy=CHAOS_POLICY,
+            worker_faults=faults,
+            strict=True,
+        )
+
+
+def test_transient_data_shard_crash_recovers_exactly(dataset, reference):
+    """Crash incarnation 0 of one data shard: the respawned process
+    replays the protocol round and every answer stays exact."""
+    points, batch = dataset
+    faults = WorkerFaultPlan.of(
+        WorkerFaultSpec(kind="crash", shard=2, on_batch=0, incarnation=0)
+    )
+    report = serve_sharded(
+        _table(points),
+        batch,
+        n_shards=4,
+        shard_mode="data",
+        chunk_size=64,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+        worker_faults=faults,
+    )
+    assert report.n_degraded == 0
+    assert not report.partial.any()
+    _assert_data_exact_matches_reference(report, reference)
+    crashed = next(s for s in report.shards if s.shard_id == 2)
+    assert crashed.respawns >= 1
+
+
+def test_all_data_shards_down_degrades_every_query(dataset):
+    points, batch = dataset
+    table = _table(points)
+    faults = WorkerFaultPlan.of(WorkerFaultSpec(kind="crash", incarnation=None))
+    report = serve_sharded(
+        table,
+        batch,
+        n_shards=2,
+        shard_mode="data",
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=SupervisionPolicy(max_retries=0, backoff_base=0.01),
+        worker_faults=faults,
+    )
+    assert report.n_degraded == N_QUERIES
+    bound = float(table.index.num_blocks)
+    for i in range(N_QUERIES):
+        assert report.results[i] is None
+        cost = report.explanations[i].alternatives[DEGRADED_PLAN]
+        assert 0.0 <= cost <= bound
+
+
+# ----------------------------------------------------------------------
+# Long-lived tier lifecycle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shard_mode", ["replica", "data"])
+def test_long_lived_tier_spawns_pools_exactly_once(shard_mode, dataset):
+    points, batch = dataset
+    with ShardedServingTier(
+        _table(points),
+        n_shards=3,
+        shard_mode=shard_mode,
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    ) as tier:
+        assert tier.start() is tier
+        assert tier.pools_spawned == 3
+        many = tier.serve_many([batch, batch], max_in_flight=2)
+        # Sustained serving reuses the live pools: no respawns.
+        assert tier.pools_spawned == 3
+    assert many.n_batches == 2
+    assert many.n_overloaded == 0
+    assert all(report is not None for report in many.reports)
+
+
+def test_serve_many_concatenates_per_query_latencies(dataset):
+    points, batch = dataset
+    with ShardedServingTier(
+        _table(points),
+        n_shards=2,
+        shard_mode="data",
+        chunk_size=128,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    ) as tier:
+        many = tier.serve_many([batch, batch, batch], max_in_flight=2)
+    assert many.n_queries == 3 * N_QUERIES
+    assert many.latencies_us.shape == (3 * N_QUERIES,)
+    assert (many.latencies_us > 0).all()
+    p50 = many.percentile_us(50.0)
+    p99 = many.percentile_us(99.0)
+    assert p50 is not None and p99 is not None and p99 >= p50
+    assert many.throughput_qps > 0
+    assert "p50" in many.describe()
+
+
+def test_data_mode_ships_sublinear_payloads(dataset):
+    points, __ = dataset
+    with ShardedServingTier(
+        _table(points),
+        n_shards=4,
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    ) as replica_tier:
+        replica_shipped = replica_tier.shipped_bytes
+    with ShardedServingTier(
+        _table(points),
+        n_shards=4,
+        shard_mode="data",
+        manager_kwargs={"max_k": MAX_K},
+        policy=CHAOS_POLICY,
+    ) as data_tier:
+        data_shipped = data_tier.shipped_bytes
+    # Every replica worker receives the full point payload; every data
+    # worker receives roughly a quarter of it (plus small block arrays).
+    per_replica = replica_shipped[0]
+    assert all(size == per_replica for size in replica_shipped.values())
+    assert max(data_shipped.values()) < per_replica
+    assert sum(data_shipped.values()) < 4 * per_replica
+
+
+# ----------------------------------------------------------------------
+# Admission regressions: cold-start EWMA and honest retry hints
+# ----------------------------------------------------------------------
+def test_cold_admission_refuses_oversized_first_batch():
+    """Before any throughput observation the queue-depth gate still
+    engages — a cold controller must not wave an oversized batch in."""
+    admission = AdmissionController(max_pending_queries=100)
+    with pytest.raises(OverloadError) as excinfo:
+        admission.admit(101, remaining_seconds=None)
+    assert excinfo.value.retry_after is not None
+    assert admission.shed == 101
+    assert admission.pending == 0
+
+
+def test_retry_after_never_exceeds_remaining_deadline():
+    admission = AdmissionController(max_pending_queries=100)
+    # Slow observed throughput: a full queue would take 1000s to drain.
+    admission.admit(100, remaining_seconds=None)
+    admission.release(100, seconds=1000.0)
+    admission.admit(100, remaining_seconds=None)
+    with pytest.raises(OverloadError) as excinfo:
+        admission.admit(50, remaining_seconds=2.0)
+    assert excinfo.value.retry_after <= 2.0
+
+
+def test_ewma_seeds_from_first_completed_batch():
+    """The first release sets the EWMA to the observed rate outright
+    instead of averaging against the 0.0 'unknown' sentinel."""
+    admission = AdmissionController()
+    assert admission.throughput_estimate == 0.0
+    admission.admit(500, remaining_seconds=None)
+    admission.release(500, seconds=2.0)
+    assert admission.throughput_estimate == pytest.approx(250.0)
+
+
+def test_time_budget_gate_engages_on_second_batch():
+    """Cold start admits on queue depth alone; once throughput is
+    observed the time-budget projection starts refusing."""
+    admission = AdmissionController(max_pending_queries=10_000)
+    # Cold: no throughput estimate, so a tight deadline is admitted.
+    admission.admit(100, remaining_seconds=0.001)
+    admission.release(100, seconds=10.0)  # observed: 10 queries/s
+    with pytest.raises(OverloadError):
+        admission.admit(100, remaining_seconds=1.0)  # projected ~10s
